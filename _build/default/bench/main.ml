@@ -1,0 +1,451 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§8) on the synthetic substrates described in DESIGN.md.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table1a      -- one artifact
+     dune exec bench/main.exe -- --help
+
+   Subcommands: table1a table1b figure11 figure12 batfish-query
+   ablation-bdd ablation-uu micro all.
+
+   Absolute numbers differ from the paper (different hardware, an
+   explicit-state analysis client instead of SMT); EXPERIMENTS.md records
+   paper-vs-measured values and discusses the shapes. *)
+
+let fail fmt = Format.kasprintf failwith fmt
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: compression results                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t1_row = {
+  row_name : string;
+  nodes : int;
+  links : int;
+  abs_nodes : float;
+  abs_nodes_std : float;
+  abs_links : float;
+  abs_links_std : float;
+  num_ecs : int;
+  sampled : int;
+  bdd_time : float;
+  time_per_ec : float;
+}
+
+let t1_header () =
+  Printf.printf "%-20s %14s %18s %18s %6s %9s %12s\n" "Topology" "Nodes/Links"
+    "Abs. Nodes" "Abs. Links" "ECs" "BDD time" "Time per EC";
+  Printf.printf "%s\n" (String.make 112 '-')
+
+let t1_print r =
+  let ratio a b = float_of_int a /. max 1.0 b in
+  Printf.printf
+    "%-20s %6d /%7d %9.1f ±%-6.1f %9.1f ±%-6.1f %6d %8.2fs %10.4fs  (%.1fx/%.1fx%s)\n%!"
+    r.row_name r.nodes r.links r.abs_nodes r.abs_nodes_std r.abs_links
+    r.abs_links_std r.num_ecs r.bdd_time r.time_per_ec
+    (ratio r.nodes r.abs_nodes) (ratio r.links r.abs_links)
+    (if r.sampled < r.num_ecs then Printf.sprintf "; %d ECs timed" r.sampled
+     else "")
+
+let compress_row ?(sample = 64) name (net : Device.network) =
+  let total_ecs = Ecs.count net in
+  let stride = max 1 (total_ecs / sample) in
+  let s = Bonsai_api.compress ~stride net in
+  {
+    row_name = name;
+    nodes = Graph.n_nodes net.Device.graph;
+    links = Graph.n_links net.Device.graph;
+    abs_nodes = Bonsai_api.mean_abs_nodes s;
+    abs_nodes_std = Bonsai_api.stddev_abs_nodes s;
+    abs_links = Bonsai_api.mean_abs_links s;
+    abs_links_std = Bonsai_api.stddev_abs_links s;
+    num_ecs = total_ecs;
+    sampled = List.length s.Bonsai_api.results;
+    bdd_time = s.Bonsai_api.bdd_time_s;
+    time_per_ec = Bonsai_api.mean_time_per_ec s;
+  }
+
+let table1a () =
+  hr "Table 1(a): compression of synthetic networks";
+  t1_header ();
+  List.iter
+    (fun k ->
+      let ft = Generators.fattree ~k in
+      let net = Synthesis.fattree_shortest_path ft in
+      t1_print (compress_row (Printf.sprintf "Fattree (k=%d)" k) net))
+    [ 12; 20; 30 ];
+  List.iter
+    (fun n ->
+      t1_print
+        (compress_row (Printf.sprintf "Ring (n=%d)" n) (Synthesis.ring_bgp ~n)))
+    [ 100; 500; 1000 ];
+  List.iter
+    (fun n ->
+      t1_print
+        (compress_row
+           (Printf.sprintf "Full mesh (n=%d)" n)
+           (Synthesis.mesh_bgp ~n)))
+    [ 50; 150; 250 ]
+
+let table1b () =
+  hr "Table 1(b): compression of the (synthetic stand-in) real networks";
+  let dc = Synthesis.datacenter () in
+  let wan = Synthesis.wan () in
+  Printf.printf "datacenter: %s\n" dc.Synthesis.description;
+  Printf.printf
+    "  unique roles: %d semantic (%d with unmatched communities kept)\n"
+    (Bonsai_api.roles dc.Synthesis.net)
+    (Bonsai_api.roles ~keep_unmatched_comms:true dc.Synthesis.net);
+  Printf.printf "  configuration scale: %d lines (%d IOS-style lines)\n"
+    (Device.config_lines dc.Synthesis.net)
+    (Ios_print.line_count dc.Synthesis.net);
+  Printf.printf "wan: %s\n" wan.Synthesis.description;
+  Printf.printf "  unique roles: %d\n" (Bonsai_api.roles wan.Synthesis.net);
+  Printf.printf "  configuration scale: %d lines (%d IOS-style lines)\n\n"
+    (Device.config_lines wan.Synthesis.net)
+    (Ios_print.line_count wan.Synthesis.net);
+  t1_header ();
+  t1_print (compress_row ~sample:128 "Data center (197)" dc.Synthesis.net);
+  t1_print (compress_row ~sample:128 "WAN (1086)" wan.Synthesis.net)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: policy-dependent abstractions of a fattree               *)
+(* ------------------------------------------------------------------ *)
+
+let figure11 () =
+  hr "Figure 11: fattree abstractions under different policies";
+  Printf.printf "%-16s %24s %24s\n" "Fattree" "shortest-path abs."
+    "prefer-bottom abs.";
+  List.iter
+    (fun k ->
+      let ft = Generators.fattree ~k in
+      let size net =
+        let ec = List.hd (Ecs.compute net) in
+        let r = Bonsai_api.compress_ec net ec in
+        ( Abstraction.n_abstract r.Bonsai_api.abstraction,
+          Graph.n_links r.Bonsai_api.abstraction.Abstraction.abs_graph )
+      in
+      let n1, e1 = size (Synthesis.fattree_shortest_path ft) in
+      let n2, e2 = size (Synthesis.fattree_prefer_bottom ft) in
+      Printf.printf "k=%-3d (%4d nodes) %12d n /%4d l %14d n /%4d l\n%!" k
+        (Graph.n_nodes ft.Generators.ft_graph)
+        n1 e1 n2 e2)
+    [ 4; 8; 12; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: verification time with and without compression           *)
+(* ------------------------------------------------------------------ *)
+
+let fig12_series ~timeout_s name nets =
+  Printf.printf "\n%s (timeout %.0fs per point)\n" name timeout_s;
+  Printf.printf "%-10s %8s %16s %16s %9s\n" "size" "nodes" "verify concrete"
+    "verify + Bonsai" "speedup";
+  List.iter
+    (fun (label, net) ->
+      let c = Reachability.concrete_all_pairs ~timeout_s net in
+      let a = Reachability.abstract_all_pairs ~timeout_s net in
+      let show (r : Reachability.result) =
+        if r.Reachability.timed_out then
+          Printf.sprintf "timeout@%dec" r.Reachability.ecs_done
+        else Printf.sprintf "%.2fs" r.Reachability.time_s
+      in
+      let speedup =
+        if c.Reachability.timed_out || a.Reachability.timed_out then "-"
+        else
+          Printf.sprintf "%.1fx"
+            (c.Reachability.time_s /. max 1e-6 a.Reachability.time_s)
+      in
+      if
+        (not (c.Reachability.timed_out || a.Reachability.timed_out))
+        && c.Reachability.unreachable <> a.Reachability.unreachable
+      then fail "figure12: verdicts disagree on %s" label;
+      Printf.printf "%-10s %8d %16s %16s %9s\n%!" label
+        (Graph.n_nodes net.Device.graph)
+        (show c) (show a) speedup)
+    nets
+
+let figure12 ?(timeout_s = 60.0) () =
+  hr "Figure 12: all-pairs reachability verification time";
+  fig12_series ~timeout_s "(a) Fattree"
+    (List.map
+       (fun k ->
+         ( Printf.sprintf "k=%d" k,
+           Synthesis.fattree_shortest_path (Generators.fattree ~k) ))
+       [ 4; 8; 12; 16; 20 ]);
+  fig12_series ~timeout_s "(b) Full mesh"
+    (List.map
+       (fun n -> (Printf.sprintf "n=%d" n, Synthesis.mesh_bgp ~n))
+       [ 10; 50; 100; 150; 200 ]);
+  fig12_series ~timeout_s "(c) Ring"
+    (List.map
+       (fun n -> (Printf.sprintf "n=%d" n, Synthesis.ring_bgp ~n))
+       [ 20; 100; 200; 300; 500 ])
+
+(* ------------------------------------------------------------------ *)
+(* The Batfish experiment (§8, last paragraph)                         *)
+(* ------------------------------------------------------------------ *)
+
+let batfish_query () =
+  hr "Batfish/NoD-style query: all flows towards a destination class";
+  let run name net =
+    let ec = List.hd (Ecs.compute net) in
+    let c = Reachability.concrete_flows net ~ec in
+    let a = Reachability.abstract_flows net ~ec in
+    Printf.printf "%s, destination %s:\n" name
+      (Format.asprintf "%a" Ecs.pp ec);
+    Printf.printf
+      "  without Bonsai: %d sources, %d forwarding paths in %.3fs\n"
+      c.Reachability.sources_reaching c.Reachability.total_paths
+      c.Reachability.flow_time_s;
+    Printf.printf
+      "  with Bonsai:    %d roles reaching, %d paths in %.3fs (incl. compression, %.0fx)\n%!"
+      a.Reachability.sources_reaching a.Reachability.total_paths
+      a.Reachability.flow_time_s
+      (c.Reachability.flow_time_s /. max 1e-6 a.Reachability.flow_time_s)
+  in
+  run "datacenter (197 nodes)" (Synthesis.datacenter ()).Synthesis.net;
+  run "fattree k=20 (500 nodes)"
+    (Synthesis.fattree_shortest_path (Generators.fattree ~k:20));
+  run "fattree k=30 (1125 nodes)"
+    (Synthesis.fattree_shortest_path (Generators.fattree ~k:30))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_bdd () =
+  hr "Ablation: semantic (BDD) policy equality vs naive comparison";
+  let dc = Synthesis.datacenter () in
+  let semantic = Bonsai_api.roles dc.Synthesis.net in
+  let naive = Bonsai_api.roles ~keep_unmatched_comms:true dc.Synthesis.net in
+  Printf.printf
+    "datacenter roles: %d with the refined attribute abstraction\n\
+    \                  %d when set-but-never-matched communities are kept\n"
+    semantic naive;
+  let mean keep =
+    let s =
+      Bonsai_api.compress ?keep_unmatched_comms:keep ~stride:11
+        dc.Synthesis.net
+    in
+    Bonsai_api.mean_abs_nodes s
+  in
+  Printf.printf "mean abstract size: %.1f nodes (semantic) vs %.1f (naive)\n%!"
+    (mean None) (mean (Some true))
+
+let ablation_uu () =
+  hr "Ablation: BGP node splitting (prefs-driven) on vs off";
+  let check k prefer =
+    let ft = Generators.fattree ~k in
+    let net =
+      if prefer then Synthesis.fattree_prefer_bottom ft
+      else Synthesis.fattree_shortest_path ft
+    in
+    let ec = List.hd (Ecs.compute net) in
+    let dest = Ecs.single_origin ec in
+    let r = Bonsai_api.compress_ec net ec in
+    let sound = r.Bonsai_api.abstraction in
+    (* disable the preference-driven splitting *)
+    let _, signature = Compile.edge_signatures net ~dest:ec.Ecs.ec_prefix in
+    let partition, _ =
+      Refine.find_partition net ~dest ~signature ~prefs:(fun _ -> [])
+    in
+    let naive =
+      Abstraction.make net ~dest ~dest_prefix:ec.Ecs.ec_prefix
+        ~universe:sound.Abstraction.universe ~partition ~copies:(fun _ -> 1)
+    in
+    let srp = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
+    (* the gadget effect is solution-dependent: sample several stable
+       solutions and require every one to map *)
+    let sols = Solver.solutions_sample ~tries:12 srp in
+    let all_ok t =
+      List.for_all
+        (fun sol -> (fst (Equivalence.check_bgp t sol)).Equivalence.ok)
+        sols
+    in
+    Printf.printf
+      "fattree k=%d %-14s splitting on: %3d nodes (CP-equiv %b); off: %3d nodes (CP-equiv %b) [%d solutions]\n%!"
+      k
+      (if prefer then "prefer-bottom" else "shortest-path")
+      (Abstraction.n_abstract sound)
+      (all_ok sound) (Abstraction.n_abstract naive) (all_ok naive)
+      (List.length sols)
+  in
+  check 4 false;
+  check 4 true;
+  check 8 true;
+  (* and the paper's own gadget (Figure 2), where a single abstract node
+     for the three middle routers is provably unsound *)
+  let gadget () =
+    let g =
+      Graph.of_links ~n:5 [ (0, 1); (0, 2); (0, 3); (4, 1); (4, 2); (4, 3) ]
+    in
+    let prefer_a : Route_map.t =
+      [ { verdict = Permit; conds = []; actions = [ Set_local_pref 200 ] } ]
+    in
+    let routers =
+      Array.init 5 (fun v ->
+          let r = Device.default_router (Graph.name g v) in
+          let r =
+            {
+              r with
+              Device.bgp_neighbors =
+                Array.to_list (Graph.succ g v)
+                |> List.map (fun u ->
+                       let import_rm =
+                         if v >= 1 && v <= 3 && u = 4 then Some prefer_a
+                         else None
+                       in
+                       (u, { Device.import_rm; export_rm = None; ibgp = false }));
+            }
+          in
+          if v = 0 then
+            { r with Device.originated = [ Prefix.of_string "10.0.0.0/24" ] }
+          else r)
+    in
+    { Device.graph = g; routers }
+  in
+  let net = gadget () in
+  let ec = List.hd (Ecs.compute net) in
+  let sound = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let _, signature = Compile.edge_signatures net ~dest:ec.Ecs.ec_prefix in
+  let partition, _ =
+    Refine.find_partition net ~dest:0 ~signature ~prefs:(fun _ -> [])
+  in
+  let naive =
+    Abstraction.make net ~dest:0 ~dest_prefix:ec.Ecs.ec_prefix
+      ~universe:sound.Abstraction.universe ~partition ~copies:(fun _ -> 1)
+  in
+  let sols =
+    Solver.solutions_sample ~tries:12
+      (Compile.bgp_srp net ~dest:0 ~dest_prefix:ec.Ecs.ec_prefix)
+  in
+  let all_ok t =
+    List.for_all
+      (fun sol -> (fst (Equivalence.check_bgp t sol)).Equivalence.ok)
+      sols
+  in
+  Printf.printf
+    "Figure 2 gadget      splitting on: %3d nodes (CP-equiv %b); off: %3d nodes (CP-equiv %b) [%d solutions]\n%!"
+    (Abstraction.n_abstract sound) (all_ok sound)
+    (Abstraction.n_abstract naive) (all_ok naive) (List.length sols)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the core kernels                        *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  hr "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let ft = Generators.fattree ~k:12 in
+  let net = Synthesis.fattree_shortest_path ft in
+  let ec = List.hd (Ecs.compute net) in
+  let dest = Ecs.single_origin ec in
+  let universe = Policy_bdd.universe_of_network net in
+  let rm : Route_map.t =
+    [
+      {
+        verdict = Permit;
+        conds = [ Match_community [ 1; 2 ] ];
+        actions = [ Add_community 3; Set_local_pref 350 ];
+      };
+      { verdict = Permit; conds = []; actions = [] };
+    ]
+  in
+  let mini =
+    (* a tiny network whose only policy is [rm], so the BDD universe
+       covers exactly the benchmarked map *)
+    let g = Graph.of_links ~n:2 [ (0, 1) ] in
+    {
+      Device.graph = g;
+      routers =
+        [|
+          {
+            (Device.default_router "a") with
+            Device.bgp_neighbors =
+              [ (1, { Device.import_rm = Some rm; export_rm = None; ibgp = false }) ];
+          };
+          Device.default_router "b";
+        |];
+    }
+  in
+  let mini_universe =
+    Policy_bdd.universe_of_network ~keep_unmatched_comms:true mini
+  in
+  let tests =
+    Test.make_grouped ~name:"bonsai"
+      [
+        Test.make ~name:"encode-route-map"
+          (Staged.stage (fun () ->
+               Policy_bdd.encode_route_map mini_universe rm
+                 ~dest:(Prefix.of_string "10.0.0.0/24")));
+        Test.make ~name:"compress-ec-fattree-180"
+          (Staged.stage (fun () -> Bonsai_api.compress_ec ~universe net ec));
+        Test.make ~name:"solve-fattree-180"
+          (Staged.stage (fun () ->
+               Solver.solve
+                 (Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-40s %12.3f ms/run\n" name (est /. 1e6)
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all ~timeout_s () =
+  table1a ();
+  table1b ();
+  figure11 ();
+  figure12 ~timeout_s ();
+  batfish_query ();
+  ablation_bdd ();
+  ablation_uu ()
+
+let () =
+  let usage () =
+    prerr_endline
+      "usage: bench/main.exe \
+       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|micro|all] \
+       [--timeout SECONDS]";
+    exit 2
+  in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let timeout_s = ref 60.0 in
+  let rec parse cmds = function
+    | [] -> List.rev cmds
+    | "--timeout" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t -> timeout_s := t
+      | None -> usage ());
+      parse cmds rest
+    | "--help" :: _ | "-h" :: _ -> usage ()
+    | c :: rest -> parse (c :: cmds) rest
+  in
+  let cmds = match parse [] args with [] -> [ "all" ] | cs -> cs in
+  List.iter
+    (fun cmd ->
+      match cmd with
+      | "table1a" -> table1a ()
+      | "table1b" -> table1b ()
+      | "figure11" -> figure11 ()
+      | "figure12" -> figure12 ~timeout_s:!timeout_s ()
+      | "batfish-query" -> batfish_query ()
+      | "ablation-bdd" -> ablation_bdd ()
+      | "ablation-uu" -> ablation_uu ()
+      | "micro" -> micro ()
+      | "all" -> all ~timeout_s:!timeout_s ()
+      | _ -> usage ())
+    cmds

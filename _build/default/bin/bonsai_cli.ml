@@ -1,0 +1,368 @@
+(* bonsai: command-line frontend for control plane compression.
+
+     bonsai info fattree:12
+     bonsai compress wan --dot /tmp/wan.dot
+     bonsai compress datacenter --ec 10.100.3.0/24
+     bonsai verify fattree:12 --src edge3_1
+     bonsai roles datacenter
+
+   Network specifications: fattree:K, fattree-prefer:K, ring:N, mesh:N,
+   random:N[:SEED], datacenter, wan. *)
+
+let parse_network spec =
+  let fail () =
+    `Error
+      (false,
+       Printf.sprintf
+         "unknown network %S (expected fattree:K, fattree-prefer:K, ring:N, \
+          mesh:N, random:N[:SEED], datacenter, wan)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | "file" :: rest -> (
+    match Config_text.load (String.concat ":" rest) with
+    | Ok net -> `Ok net
+    | Error e -> `Error (false, e))
+  | [ "datacenter" ] -> `Ok (Synthesis.datacenter ()).Synthesis.net
+  | [ "wan" ] -> `Ok (Synthesis.wan ()).Synthesis.net
+  | [ "fattree"; k ] -> (
+    match int_of_string_opt k with
+    | Some k -> `Ok (Synthesis.fattree_shortest_path (Generators.fattree ~k))
+    | None -> fail ())
+  | [ "fattree-prefer"; k ] -> (
+    match int_of_string_opt k with
+    | Some k -> `Ok (Synthesis.fattree_prefer_bottom (Generators.fattree ~k))
+    | None -> fail ())
+  | [ "ring"; n ] -> (
+    match int_of_string_opt n with
+    | Some n -> `Ok (Synthesis.ring_bgp ~n)
+    | None -> fail ())
+  | [ "mesh"; n ] -> (
+    match int_of_string_opt n with
+    | Some n -> `Ok (Synthesis.mesh_bgp ~n)
+    | None -> fail ())
+  | [ "random"; n ] | [ "random"; n; _ ] -> (
+    let seed =
+      match String.split_on_char ':' spec with
+      | [ _; _; s ] -> Option.value ~default:0 (int_of_string_opt s)
+      | _ -> 0
+    in
+    match int_of_string_opt n with
+    | Some n -> `Ok (Synthesis.random_network ~n ~seed)
+    | None -> fail ())
+  | _ -> fail ()
+
+let network_conv =
+  Cmdliner.Arg.conv
+    ( (fun s ->
+        match parse_network s with
+        | `Ok net -> Ok net
+        | `Error (_, msg) -> Error (`Msg msg)),
+      fun ppf _ -> Format.pp_print_string ppf "<network>" )
+
+let network_arg =
+  Cmdliner.Arg.(
+    required
+    & pos 0 (some network_conv) None
+    & info [] ~docv:"NETWORK" ~doc:"Network specification (e.g. fattree:12).")
+
+let find_ec net = function
+  | None -> List.hd (Ecs.compute net)
+  | Some p -> (
+    let p = Prefix.of_string p in
+    match
+      List.find_opt
+        (fun ec -> Prefix.equal ec.Ecs.ec_prefix p)
+        (Ecs.compute net)
+    with
+    | Some ec -> ec
+    | None -> Format.kasprintf failwith "no destination class %a" Prefix.pp p)
+
+(* --- info ----------------------------------------------------------- *)
+
+let info_cmd_run net =
+  let g = net.Device.graph in
+  Format.printf "nodes: %d@." (Graph.n_nodes g);
+  Format.printf "links: %d@." (Graph.n_links g);
+  Format.printf "destination classes: %d@." (Ecs.count net);
+  Format.printf "configuration lines: %d@." (Device.config_lines net);
+  Format.printf "unique roles: %d@." (Bonsai_api.roles net);
+  match Device.validate net with
+  | Ok () -> Format.printf "configuration: valid@."
+  | Error e -> Format.printf "configuration: INVALID (%s)@." e
+
+(* --- compress --------------------------------------------------------- *)
+
+let compress_cmd_run net ec_prefix dot all =
+  if all then begin
+    let s = Bonsai_api.compress net in
+    Format.printf "%a@." Bonsai_api.pp_summary s
+  end
+  else begin
+    let ec = find_ec net ec_prefix in
+    let r = Bonsai_api.compress_ec net ec in
+    let t = r.Bonsai_api.abstraction in
+    Format.printf "%a@." Abstraction.pp_summary t;
+    Format.printf "compression time: %.3fs (%d refinement iterations)@."
+      r.Bonsai_api.time_s r.Bonsai_api.refine_stats.Refine.iterations;
+    Array.iteri
+      (fun gid members ->
+        Format.printf "  role %d (%d node%s%s): %s@." gid
+          (List.length members)
+          (if List.length members = 1 then "" else "s")
+          (if t.Abstraction.copies.(gid) > 1 then
+             Printf.sprintf ", %d copies" t.Abstraction.copies.(gid)
+           else "")
+          (String.concat ", "
+             (List.map (Graph.name net.Device.graph)
+                (List.filteri (fun i _ -> i < 6) members)
+             @ if List.length members > 6 then [ "..." ] else [])))
+      t.Abstraction.groups;
+    match dot with
+    | None -> ()
+    | Some path ->
+      Dot.write_file ~path t.Abstraction.abs_graph;
+      Format.printf "abstract topology written to %s@." path
+  end
+
+(* --- verify ------------------------------------------------------------ *)
+
+let verify_cmd_run net src ec_prefix =
+  let ec = find_ec net ec_prefix in
+  let src_id =
+    match Graph.find_by_name net.Device.graph src with
+    | Some v -> v
+    | None -> Format.kasprintf failwith "unknown router %S" src
+  in
+  let cv, ct =
+    Timing.time (fun () -> Reachability.concrete_query net ~src:src_id ~ec)
+  in
+  let av, at =
+    Timing.time (fun () -> Reachability.abstract_query net ~src:src_id ~ec)
+  in
+  Format.printf "%s reaches %a: %b (concrete, %.3fs) / %b (abstract, %.3fs)@."
+    src Ecs.pp ec cv ct av at;
+  if cv <> av then begin
+    Format.printf "DISAGREEMENT — this is a bug@.";
+    exit 1
+  end
+
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_cmd_run net src_name addr all =
+  let src =
+    match Graph.find_by_name net.Device.graph src_name with
+    | Some v -> v
+    | None -> Format.kasprintf failwith "unknown router %S" src_name
+  in
+  let addr = Ipv4.of_string addr in
+  let dp = Dataplane.of_network net in
+  Format.printf "data plane: %d classes solved, %d FIB entries@."
+    (Dataplane.ecs_solved dp) (Dataplane.n_entries dp);
+  let show = function
+    | Dataplane.Delivered path ->
+      Format.printf "delivered: %s@."
+        (String.concat " -> "
+           (List.map (Graph.name net.Device.graph) path))
+    | Dataplane.Dropped path ->
+      Format.printf "DROPPED at %s: %s@."
+        (Graph.name net.Device.graph (List.nth path (List.length path - 1)))
+        (String.concat " -> " (List.map (Graph.name net.Device.graph) path))
+    | Dataplane.Looped path ->
+      Format.printf "LOOP: %s@."
+        (String.concat " -> " (List.map (Graph.name net.Device.graph) path))
+  in
+  if all then List.iter show (Dataplane.trace_all dp ~src addr)
+  else show (Dataplane.trace dp ~src addr)
+
+(* --- explain ----------------------------------------------------------- *)
+
+let explain_cmd_run net a_name b_name ec_prefix =
+  let ec = find_ec net ec_prefix in
+  let node name =
+    match Graph.find_by_name net.Device.graph name with
+    | Some v -> v
+    | None -> Format.kasprintf failwith "unknown router %S" name
+  in
+  match Bonsai_api.explain net ec (node a_name) (node b_name) with
+  | [] ->
+    Format.printf "%s and %s play the same role for %a@." a_name b_name
+      Prefix.pp ec.Ecs.ec_prefix
+  | reasons ->
+    Format.printf "%s and %s differ for %a:@." a_name b_name Prefix.pp
+      ec.Ecs.ec_prefix;
+    List.iter (Format.printf "  - %s@.") reasons
+
+(* --- policy ----------------------------------------------------------- *)
+
+let policy_cmd_run net from_name to_name ec_prefix =
+  let ec = find_ec net ec_prefix in
+  let node name =
+    match Graph.find_by_name net.Device.graph name with
+    | Some v -> v
+    | None -> Format.kasprintf failwith "unknown router %S" name
+  in
+  let recv = node from_name and sender = node to_name in
+  let u = Policy_bdd.universe_of_network net in
+  let b = Policy_bdd.edge_policy u net ~dest:ec.Ecs.ec_prefix recv sender in
+  Format.printf
+    "policy for routes received at %s from %s (destination %a):@." from_name
+    to_name Prefix.pp ec.Ecs.ec_prefix;
+  (match Device.bgp_neighbor_config net.Device.routers.(recv) sender with
+  | Some nb ->
+    (match nb.Device.import_rm with
+    | Some rm -> Format.printf "import route-map:@.%a@." Route_map.pp rm
+    | None -> Format.printf "import: permit all@.")
+  | None -> Format.printf "no BGP session@.");
+  Format.printf "BDD: %d nodes@." (Bdd.size b);
+  Format.printf "relation: %a@." (Policy_bdd.pp_policy u) b
+
+(* --- export --------------------------------------------------------------- *)
+
+let export_cmd_run net path format =
+  (match format with
+  | "text" -> Config_text.save ~path net
+  | "ios" ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Ios_print.to_string net))
+  | f -> Format.kasprintf failwith "unknown format %S (text|ios)" f);
+  Format.printf "wrote %s@." path
+
+(* --- roles -------------------------------------------------------------- *)
+
+let roles_cmd_run net =
+  Format.printf "semantic roles (BDD policy equality): %d@."
+    (Bonsai_api.roles net);
+  Format.printf "naive roles (unmatched communities kept): %d@."
+    (Bonsai_api.roles ~keep_unmatched_comms:true net)
+
+(* --- command wiring ------------------------------------------------------ *)
+
+open Cmdliner
+
+let ec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ec" ] ~docv:"PREFIX"
+        ~doc:"Destination class to operate on (default: the first).")
+
+let info_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe a network")
+    Term.(const info_cmd_run $ network_arg)
+
+let compress_cmd =
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"PATH" ~doc:"Write the abstract topology as DOT.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Compress every destination class and summarize.")
+  in
+  Cmd.v
+    (Cmd.info "compress" ~doc:"Compress a network for one destination class")
+    Term.(const compress_cmd_run $ network_arg $ ec_arg $ dot $ all)
+
+let verify_cmd =
+  let src =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "src" ] ~docv:"ROUTER" ~doc:"Source router name.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Answer a reachability query on the concrete and compressed network")
+    Term.(const verify_cmd_run $ network_arg $ src $ ec_arg)
+
+let roles_cmd =
+  Cmd.v
+    (Cmd.info "roles" ~doc:"Count unique router roles")
+    Term.(const roles_cmd_run $ network_arg)
+
+let policy_cmd =
+  let from_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"ROUTER" ~doc:"Receiving router.")
+  in
+  let to_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "to" ] ~docv:"ROUTER" ~doc:"Sending neighbor.")
+  in
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:"Show an interface's routing policy and its BDD (paper Figure 10)")
+    Term.(const policy_cmd_run $ network_arg $ from_arg $ to_arg $ ec_arg)
+
+let trace_cmd =
+  let src =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "src" ] ~docv:"ROUTER" ~doc:"Source router.")
+  in
+  let addr =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "addr" ] ~docv:"A.B.C.D" ~doc:"Destination address.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Follow every ECMP next hop.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace a packet through the data plane")
+    Term.(const trace_cmd_run $ network_arg $ src $ addr $ all)
+
+let explain_cmd =
+  let a_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "a" ] ~docv:"ROUTER" ~doc:"First router.")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "b" ] ~docv:"ROUTER" ~doc:"Second router.")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Explain why two routers play different roles")
+    Term.(const explain_cmd_run $ network_arg $ a_arg $ b_arg $ ec_arg)
+
+let export_cmd =
+  let path =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o" ] ~docv:"PATH" ~doc:"Output file.")
+  in
+  let format =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: our text format or Cisco-IOS flavor (text|ios).")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a network as a configuration file")
+    Term.(const export_cmd_run $ network_arg $ path $ format)
+
+let () =
+  let doc = "Bonsai: control plane compression (SIGCOMM 2018 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "bonsai" ~version:"1.0.0" ~doc)
+          [ info_cmd; compress_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd ]))

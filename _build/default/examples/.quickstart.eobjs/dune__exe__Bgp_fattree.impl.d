@@ -1,0 +1,1 @@
+examples/bgp_fattree.ml: Abstraction Array Bonsai_api Compile Device Ecs Equivalence Format Generators Graph List Prefix Solver String Synthesis Sys

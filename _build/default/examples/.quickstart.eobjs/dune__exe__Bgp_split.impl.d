@@ -1,0 +1,1 @@
+examples/bgp_split.ml: Abstraction Array Bonsai_api Compile Device Ecs Equivalence Format Graph List Prefix Refine Route_map Solution Solver String

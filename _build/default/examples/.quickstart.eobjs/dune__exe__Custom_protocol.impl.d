@@ -1,0 +1,1 @@
+examples/custom_protocol.ml: Abstraction Array Device Equivalence Format Generators Graph Int List Policy_bdd Prefix Refine Solution Solver Srp

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Abstraction Array Bonsai_api Ecs Format Fun Generators Graph List Properties Rip Solver Srp Synthesis

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abstraction Array Device Equivalence Format Graph List Policy_bdd Prefix Refine Rip Solution Solver

@@ -1,0 +1,1 @@
+examples/static_loop.ml: Abstraction Array Device Equivalence Format Graph List Policy_bdd Prefix Properties Refine Solver Static_route

@@ -1,0 +1,1 @@
+examples/wan_waypoint.ml: Abstraction Bonsai_api Compile Device Ecs Equivalence Format Fun Graph List Option Prefix Properties Solver String Synthesis

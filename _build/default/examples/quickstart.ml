@@ -1,0 +1,59 @@
+(* Quickstart: the paper's Figure 1.
+
+   A four-router RIP network — a -- b1 -- d and a -- b2 -- d — is
+   compressed by Bonsai into three abstract routers (b1 and b2 play the
+   same role). We solve the routing problem on both networks and check
+   that the solutions correspond.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Topology: node ids are a=0, b1=1, b2=2, d=3. *)
+  let g = Graph.of_links ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+
+  (* 2. Compress for destination d. This network has no policy, so every
+     edge carries the same transfer function: we feed the refinement a
+     constant edge signature and no BGP preference values. *)
+  let net =
+    {
+      Device.graph = g;
+      routers =
+        Array.init 4 (fun v -> Device.default_router (Graph.name g v));
+    }
+  in
+  let partition, _ =
+    Refine.find_partition net ~dest:3 ~signature:(fun _ _ -> 0)
+      ~prefs:(fun _ -> [])
+  in
+  let abstraction =
+    Abstraction.make net ~dest:3 ~dest_prefix:(Prefix.of_string "10.0.0.0/24")
+      ~universe:(Policy_bdd.universe_of_network net) ~partition
+      ~copies:(fun _ -> 1)
+  in
+  Format.printf "concrete network: %d nodes, %d links@."
+    (Graph.n_nodes g) (Graph.n_links g);
+  Format.printf "abstract network: %d nodes, %d links@."
+    (Abstraction.n_abstract abstraction)
+    (Graph.n_links abstraction.Abstraction.abs_graph);
+  for v = 0 to 3 do
+    Format.printf "  %s -> %s@." (Graph.name g v)
+      (Graph.name abstraction.Abstraction.abs_graph (Abstraction.f abstraction v))
+  done;
+
+  (* 3. Solve RIP on the concrete network (Figure 1b) ... *)
+  let sol = Solver.solve_exn (Rip.make g ~dest:3) in
+  Format.printf "@.concrete solution (hop counts):@.%a@." Solution.pp sol;
+
+  (* ... and check CP-equivalence against the abstract network. *)
+  let abs_srp =
+    Rip.make abstraction.Abstraction.abs_graph
+      ~dest:abstraction.Abstraction.abs_dest
+  in
+  let outcome, abs_sol = Equivalence.check_plain ~abs_srp abstraction sol in
+  (match abs_sol with
+  | Some abs_sol ->
+    Format.printf "abstract solution:@.%a@." Solution.pp abs_sol
+  | None -> ());
+  Format.printf "CP-equivalent: %b@." outcome.Equivalence.ok;
+  if not outcome.Equivalence.ok then
+    List.iter (Format.printf "  %s@.") outcome.Equivalence.errors

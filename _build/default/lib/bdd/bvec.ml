@@ -1,0 +1,27 @@
+type t = Bdd.t array
+
+let width = Array.length
+
+let bits_needed k =
+  if k < 0 then invalid_arg "Bvec.bits_needed: negative";
+  let rec go w acc = if acc > k then w else go (w + 1) (acc * 2) in
+  go 1 2
+
+let const _m ~width k =
+  if k < 0 || (width < 63 && k lsr width <> 0) then
+    invalid_arg "Bvec.const: value does not fit";
+  Array.init width (fun i -> if (k lsr i) land 1 = 1 then Bdd.top else Bdd.bot)
+
+let of_vars m ~first ~width = Array.init width (fun i -> Bdd.var m (first + i))
+
+let eq m a b =
+  if Array.length a <> Array.length b then invalid_arg "Bvec.eq: width mismatch";
+  let acc = ref Bdd.top in
+  Array.iteri (fun i ai -> acc := Bdd.and_ m !acc (Bdd.iff m ai b.(i))) a;
+  !acc
+
+let eq_const m a k = eq m a (const m ~width:(Array.length a) k)
+
+let ite m c a b =
+  if Array.length a <> Array.length b then invalid_arg "Bvec.ite: width mismatch";
+  Array.init (Array.length a) (fun i -> Bdd.ite m c a.(i) b.(i))

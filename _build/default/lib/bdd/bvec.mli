@@ -1,0 +1,28 @@
+(** Fixed-width bit vectors of BDDs.
+
+    Bonsai's policy relations encode route-advertisement fields (e.g. the
+    local-preference value) as small bit vectors. A vector is an array of
+    BDD functions, least-significant bit first. *)
+
+type t = Bdd.t array
+
+val width : t -> int
+
+val const : Bdd.man -> width:int -> int -> t
+(** [const m ~width k] encodes the constant [k] (non-negative, must fit). *)
+
+val of_vars : Bdd.man -> first:int -> width:int -> t
+(** [of_vars m ~first ~width] is the vector of variables
+    [first, first+1, ..., first+width-1]. *)
+
+val eq : Bdd.man -> t -> t -> Bdd.t
+(** Bitwise equality of two same-width vectors. *)
+
+val eq_const : Bdd.man -> t -> int -> Bdd.t
+
+val ite : Bdd.man -> Bdd.t -> t -> t -> t
+(** [ite m c a b] selects [a] where [c] holds and [b] elsewhere,
+    component-wise. *)
+
+val bits_needed : int -> int
+(** [bits_needed k] is the least [w] with [k < 2^w] (at least 1). *)

@@ -1,0 +1,1 @@
+lib/config/acl.ml: Format List Prefix

@@ -1,0 +1,1 @@
+lib/config/compile.ml: Acl Array Bdd Bgp Device Hashtbl Int List Multi Option Policy_bdd Route_map

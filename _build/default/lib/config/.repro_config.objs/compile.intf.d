@@ -1,0 +1,1 @@
+lib/config/compile.mli: Bgp Device Multi Policy_bdd Prefix Srp

@@ -1,0 +1,1 @@
+lib/config/config_text.ml: Acl Array Buffer Device Fun Graph Hashtbl List Multi Option Prefix Printf Route_map String

@@ -1,0 +1,1 @@
+lib/config/device.ml: Acl Array Graph List Multi Prefix Printf Route_map

@@ -1,0 +1,1 @@
+lib/config/device.mli: Acl Graph Multi Prefix Route_map

@@ -1,0 +1,1 @@
+lib/config/ecs.ml: Device Format List Prefix Prefix_trie

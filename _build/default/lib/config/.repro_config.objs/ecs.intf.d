@@ -1,0 +1,1 @@
+lib/config/ecs.mli: Device Format Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/config/ios_print.ml: Acl Array Buffer Device Graph Hashtbl Ipv4 List Multi Prefix Printf Route_map String

@@ -1,0 +1,1 @@
+lib/config/ios_print.mli: Device

@@ -1,0 +1,1 @@
+lib/config/policy_bdd.ml: Acl Array Bdd Bgp Bvec Device Format Int List Option Printf Route_map

@@ -1,0 +1,1 @@
+lib/config/policy_bdd.mli: Bdd Bgp Device Format Prefix Route_map

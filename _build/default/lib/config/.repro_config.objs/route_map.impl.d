@@ -1,0 +1,1 @@
+lib/config/route_map.ml: Bgp Format Int List Prefix

@@ -1,0 +1,1 @@
+lib/config/synthesis.ml: Acl Array Device Fun Generators Graph Hashtbl Ipv4 List Multi Prefix Random Route_map

@@ -1,0 +1,1 @@
+lib/config/synthesis.mli: Device Generators Graph Prefix

@@ -1,0 +1,22 @@
+type rule = { permit : bool; prefix : Prefix.t }
+type t = rule list
+
+let permits acl dest =
+  match acl with
+  | None -> true
+  | Some rules -> (
+    let rec go = function
+      | [] -> false (* implicit deny *)
+      | r :: rest -> if Prefix.overlap dest r.prefix then r.permit else go rest
+    in
+    go rules)
+
+let pp ppf rules =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s %a@,"
+        (if r.permit then "permit" else "deny")
+        Prefix.pp r.prefix)
+    rules;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,159 @@
+let bgp_policy (net : Device.network) ~dest u v : Bgp.policy =
+ fun a ->
+  let ru = net.routers.(u) and rv = net.routers.(v) in
+  match (Device.bgp_neighbor_config ru v, Device.bgp_neighbor_config rv u) with
+  | Some imp, Some exp ->
+    if not (Acl.permits (Device.acl_for ru v) dest) then None
+    else
+      let eval rm a =
+        match rm with
+        | None -> Some a
+        | Some rm -> Route_map.eval rm ~dest a
+      in
+      Option.bind (eval exp.export_rm a) (eval imp.import_rm)
+  | _ -> None
+
+let matched_comms (net : Device.network) =
+  let set = Hashtbl.create 32 in
+  let scan = function
+    | None -> ()
+    | Some rm ->
+      List.iter (fun c -> Hashtbl.replace set c ())
+        (Route_map.communities_matched rm)
+  in
+  Array.iter
+    (fun (r : Device.router) ->
+      List.iter
+        (fun (_, (nb : Device.bgp_neighbor)) ->
+          scan nb.import_rm;
+          scan nb.export_rm)
+        r.bgp_neighbors)
+    net.routers;
+  fun c -> Hashtbl.mem set c
+
+let bgp_srp (net : Device.network) ~dest ~dest_prefix =
+  Bgp.make ~tie_filter:(matched_comms net)
+    ~policy:(bgp_policy net ~dest:dest_prefix) net.graph ~dest
+
+let multi_srp (net : Device.network) ~dest ~dest_prefix =
+  let r = net.routers in
+  let ospf_enabled u v =
+    Option.is_some (Device.ospf_link_config r.(u) v)
+    && Option.is_some (Device.ospf_link_config r.(v) u)
+  in
+  let ospf_cost u v =
+    match Device.ospf_link_config r.(u) v with
+    | Some l -> l.Device.cost
+    | None -> 1
+  in
+  let ospf_area v = r.(v).Device.ospf_area in
+  let bgp_enabled u v =
+    Option.is_some (Device.bgp_neighbor_config r.(u) v)
+    && Option.is_some (Device.bgp_neighbor_config r.(v) u)
+  in
+  let ibgp u v =
+    match Device.bgp_neighbor_config r.(u) v with
+    | Some nb -> nb.Device.ibgp
+    | None -> false
+  in
+  let statics =
+    Array.to_list
+      (Array.mapi
+         (fun u ru ->
+           Device.static_next_hops ru ~dest:dest_prefix
+           |> List.map (fun nh -> (u, nh)))
+         r)
+    |> List.concat
+  in
+  let origin_protocols =
+    (if r.(dest).Device.bgp_neighbors <> [] then [ Multi.P_ebgp ] else [])
+    @ if r.(dest).Device.ospf_links <> [] then [ Multi.P_ospf ] else []
+  in
+  let origin_protocols =
+    if origin_protocols = [] then [ Multi.P_ebgp ] else origin_protocols
+  in
+  Multi.make ~ospf_cost ~ospf_area ~ospf_enabled ~bgp_enabled ~ibgp
+    ~bgp_policy:(bgp_policy net ~dest:dest_prefix)
+    ~static_routes:statics
+    ~redistribute:(fun v -> r.(v).Device.redistribute)
+    ~bgp_tie_filter:(matched_comms net)
+    ~origin_protocols net.graph ~dest
+
+let prefs (net : Device.network) ~dest v =
+  let lps =
+    List.concat_map
+      (fun (_, (nb : Device.bgp_neighbor)) ->
+        match nb.import_rm with
+        | None -> []
+        | Some rm -> Route_map.local_prefs rm ~dest)
+      net.routers.(v).Device.bgp_neighbors
+  in
+  List.sort_uniq Int.compare (Bgp.default_lp :: lps)
+
+type edge_signature = {
+  sig_import : int;
+  sig_export : int;
+  sig_ibgp : bool;
+  sig_acl : bool;
+  sig_ospf : (int * int * int) option;
+  sig_static : bool;
+}
+
+let edge_signatures ?universe (net : Device.network) ~dest =
+  let u =
+    match universe with
+    | Some u -> u
+    | None -> Policy_bdd.universe_of_network net
+  in
+  (* Route-maps are shared across many interfaces; memoize their BDDs by
+     physical identity of the map. *)
+  let rm_memo : (Route_map.t option, Bdd.t) Hashtbl.t = Hashtbl.create 64 in
+  let rm_bdd rm =
+    match Hashtbl.find_opt rm_memo rm with
+    | Some b -> b
+    | None ->
+      let b =
+        match rm with
+        | None -> Policy_bdd.identity u
+        | Some rm -> Policy_bdd.encode_route_map u rm ~dest
+      in
+      Hashtbl.replace rm_memo rm b;
+      b
+  in
+  let memo = Hashtbl.create 256 in
+  let signature recv sender =
+    match Hashtbl.find_opt memo (recv, sender) with
+    | Some s -> s
+    | None ->
+      let r = net.routers.(recv) in
+      let bgp_on =
+        Option.is_some (Device.bgp_neighbor_config r sender)
+        && Option.is_some (Device.bgp_neighbor_config net.routers.(sender) recv)
+      in
+      let sig_import, sig_export, sig_ibgp =
+        if not bgp_on then (-1, -1, false)
+        else
+          match Device.bgp_neighbor_config r sender with
+          | None -> (-1, -1, false)
+          | Some nb ->
+            ( Bdd.hash (rm_bdd nb.Device.import_rm),
+              Bdd.hash (rm_bdd nb.Device.export_rm),
+              nb.Device.ibgp )
+      in
+      let sig_acl = Acl.permits (Device.acl_for r sender) dest in
+      let sig_ospf =
+        match
+          (Device.ospf_link_config r sender,
+           Device.ospf_link_config net.routers.(sender) recv)
+        with
+        | Some l, Some _ ->
+          Some (l.Device.cost, r.Device.ospf_area,
+                net.routers.(sender).Device.ospf_area)
+        | _ -> None
+      in
+      let sig_static = List.mem sender (Device.static_next_hops r ~dest) in
+      let s = { sig_import; sig_export; sig_ibgp; sig_acl; sig_ospf; sig_static } in
+      Hashtbl.replace memo (recv, sender) s;
+      s
+  in
+  (u, signature)

@@ -1,0 +1,58 @@
+(** Compilation of a configured network into per-destination SRP instances,
+    plus the per-edge data the abstraction algorithm consumes. *)
+
+val matched_comms : Device.network -> int -> bool
+(** Communities some route-map in the network matches on; the community
+    tie-break of compiled SRPs is restricted to these, so route ranking
+    commutes with the attribute abstraction. *)
+
+val bgp_policy : Device.network -> dest:Prefix.t -> int -> int -> Bgp.policy
+(** [bgp_policy net ~dest u v] is the executable policy for routes received
+    at [u] from [v]: [v]'s export route-map, then [u]'s import route-map,
+    with the route dropped when BGP is not configured on both ends or when
+    [u]'s outbound ACL towards [v] denies the destination. *)
+
+val bgp_srp : Device.network -> dest:int -> dest_prefix:Prefix.t -> Bgp.attr Srp.t
+(** Single-protocol eBGP network (the synthetic evaluation networks). *)
+
+val multi_srp :
+  Device.network -> dest:int -> dest_prefix:Prefix.t -> Multi.attr Srp.t
+(** Multi-protocol network: eBGP/iBGP per BGP neighbor configs, OSPF per
+    interface configs, static routes covering the destination, and
+    redistribution (paper §6). The destination originates into the
+    protocols under which it is configured (BGP if it has any BGP
+    neighbor, OSPF if it has any OSPF interface). *)
+
+val prefs : Device.network -> dest:Prefix.t -> int -> int list
+(** [prefs net ~dest v] — the paper's [prefs(v)] (§4.3): the set of BGP
+    local-preference values that may be assigned to an announcement at
+    node [v], i.e. the default plus any value set by a reachable clause of
+    one of [v]'s import route-maps. Sorted ascending. *)
+
+type edge_signature = {
+  sig_import : int;
+      (** BDD id of [u]'s import route-map on the interface from [v]
+          ([-1]: BGP not configured on the edge) *)
+  sig_export : int;
+      (** BDD id of [u]'s export route-map on the interface towards [v] *)
+  sig_ibgp : bool;
+  sig_acl : bool;  (** [u]'s outbound ACL towards [v] permits the dest *)
+  sig_ospf : (int * int * int) option;
+      (** receiver-side cost, receiver area, sender area *)
+  sig_static : bool;  (** receiver has a static route for [dest] via sender *)
+}
+(** The signature of the directed edge [(u, v)]: everything [u]'s own
+    configuration contributes to the transfer functions touching that
+    interface. The refinement loop groups nodes by their multiset of
+    (signature, neighbor) pairs; keying on {e both} the import and export
+    side is what makes two merged nodes interchangeable for every adjacent
+    transfer function (each contributes its import to routes it receives
+    and its export to routes its neighbors receive). *)
+
+val edge_signatures :
+  ?universe:Policy_bdd.universe ->
+  Device.network ->
+  dest:Prefix.t ->
+  Policy_bdd.universe * (int -> int -> edge_signature)
+(** Builds (lazily, memoized) the signature of every edge, sharing one BDD
+    universe. Returns the universe for reuse across destinations. *)

@@ -1,0 +1,52 @@
+(** A textual format for vendor-independent configurations.
+
+    Networks can be written to and read from a single self-contained text
+    file, playing the role of the configuration directories Batfish parses
+    for the real Bonsai. The format has three kinds of sections:
+
+    {v
+    topology
+      node <name>
+      link <name> <name>
+
+    route-map <NAME>
+      <seq> permit|deny
+        match community <c> [<c> ...]
+        match prefix <a.b.c.d/len> [...]
+        set local-pref <n>
+        set med <n>
+        set community add <c>
+        set community delete <c>
+
+    router <name>
+      ospf area <n>
+      ospf link <neighbor> cost <n> [area <n>]
+      bgp neighbor <neighbor> [ibgp] [import <RM>] [export <RM>]
+      static <prefix> via <neighbor>
+      acl out <neighbor>
+        permit|deny <prefix>
+      originate <prefix>
+      redistribute ospf-into-bgp|static-into-bgp|bgp-into-ospf
+    v}
+
+    Communities are written either as plain integers or Cisco-style
+    [asn:value] pairs (encoded as [asn * 65536 + value]). Lines starting
+    with [#] are comments. Printing then parsing yields a structurally
+    identical network (checked by the test suite). *)
+
+val print : Device.network -> string
+(** Render a network. Identical route-maps are shared under one name. *)
+
+val parse : string -> (Device.network, string) result
+(** Parse a network; the error string includes a line number. *)
+
+val load : string -> (Device.network, string) result
+(** Read and parse a file. *)
+
+val save : path:string -> Device.network -> unit
+
+val community_to_string : int -> string
+(** Cisco-style [asn:value] when the value is >= 65536, decimal
+    otherwise. *)
+
+val community_of_string : string -> int option

@@ -1,0 +1,106 @@
+type bgp_neighbor = {
+  import_rm : Route_map.t option;
+  export_rm : Route_map.t option;
+  ibgp : bool;
+}
+
+type ospf_link = { cost : int; area : int }
+
+type router = {
+  name : string;
+  bgp_neighbors : (int * bgp_neighbor) list;
+  ospf_links : (int * ospf_link) list;
+  ospf_area : int;
+  static_routes : (Prefix.t * int) list;
+  acl_out : (int * Acl.t) list;
+  originated : Prefix.t list;
+  redistribute : Multi.redistribution list;
+}
+
+type network = { graph : Graph.t; routers : router array }
+
+let default_router name =
+  {
+    name;
+    bgp_neighbors = [];
+    ospf_links = [];
+    ospf_area = 0;
+    static_routes = [];
+    acl_out = [];
+    originated = [];
+    redistribute = [];
+  }
+
+let ebgp_full ?import_rm ?export_rm graph v r =
+  let nbrs = Graph.succ graph v in
+  {
+    r with
+    bgp_neighbors =
+      Array.to_list nbrs
+      |> List.map (fun u -> (u, { import_rm; export_rm; ibgp = false }));
+  }
+
+let validate net =
+  let n = Graph.n_nodes net.graph in
+  if Array.length net.routers <> n then
+    Error
+      (Printf.sprintf "router count %d does not match node count %d"
+         (Array.length net.routers) n)
+  else begin
+    let err = ref None in
+    Array.iteri
+      (fun v r ->
+        if !err = None then begin
+          let check_nbr kind u =
+            if !err = None && not (Graph.has_edge net.graph v u) then
+              err :=
+                Some
+                  (Printf.sprintf "%s: %s neighbor %d is not adjacent" r.name
+                     kind u)
+          in
+          List.iter (fun (u, _) -> check_nbr "bgp" u) r.bgp_neighbors;
+          List.iter (fun (u, _) -> check_nbr "ospf" u) r.ospf_links;
+          List.iter (fun (u, _) -> check_nbr "acl" u) r.acl_out;
+          List.iter (fun (_, u) -> check_nbr "static" u) r.static_routes
+        end)
+      net.routers;
+    match !err with None -> Ok () | Some e -> Error e
+  end
+
+let originations net =
+  let acc = ref [] in
+  Array.iteri
+    (fun v r -> List.iter (fun p -> acc := (p, v) :: !acc) r.originated)
+    net.routers;
+  List.rev !acc
+
+let bgp_neighbor_config r u = List.assoc_opt u r.bgp_neighbors
+let ospf_link_config r u = List.assoc_opt u r.ospf_links
+let acl_for r u = List.assoc_opt u r.acl_out
+
+let static_next_hops r ~dest =
+  List.filter_map
+    (fun (p, nh) -> if Prefix.subset dest p then Some nh else None)
+    r.static_routes
+
+let config_lines net =
+  let rm_lines = function
+    | None -> 0
+    | Some rm ->
+      List.fold_left
+        (fun acc (cl : Route_map.clause) ->
+          acc + 1 + List.length cl.conds + List.length cl.actions)
+        0 rm
+  in
+  Array.fold_left
+    (fun acc r ->
+      acc + 3
+      + List.fold_left
+          (fun acc (_, nb) -> acc + 2 + rm_lines nb.import_rm + rm_lines nb.export_rm)
+          0 r.bgp_neighbors
+      + (2 * List.length r.ospf_links)
+      + List.length r.static_routes
+      + List.fold_left (fun acc (_, acl) -> acc + 1 + List.length acl) 0 r.acl_out
+      + List.length r.originated
+      + List.length r.redistribute)
+    0 net.routers

@@ -1,0 +1,212 @@
+(* Deterministic link addressing: undirected link k (in the order of
+   Graph.edges restricted to u < v) owns the /30 starting at
+   10.254.0.0 + 4k; the lower endpoint gets host .1, the upper .2. *)
+
+let link_table (net : Device.network) =
+  let g = net.Device.graph in
+  let tbl = Hashtbl.create 256 in
+  let k = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      if u < v || not (Graph.has_edge g v u) then begin
+        let base = Ipv4.to_int (Ipv4.of_octets 10 254 0 0) + (4 * !k) in
+        Hashtbl.replace tbl (min u v, max u v) base;
+        incr k
+      end)
+    (Graph.edges g);
+  tbl
+
+let local_ip tbl u v =
+  let base = Hashtbl.find tbl (min u v, max u v) in
+  Ipv4.of_int32_bits (base + if u < v then 1 else 2)
+
+let peer_ip tbl u v = local_ip tbl v u
+
+let asn v = 65000 + v
+
+let mask_of_len len =
+  let m = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF in
+  Ipv4.to_string (Ipv4.of_int32_bits m)
+
+let inverse_mask_of_len len =
+  let m = if len = 0 then 0xFFFFFFFF else lnot (0xFFFFFFFF lsl (32 - len)) land 0xFFFFFFFF in
+  Ipv4.to_string (Ipv4.of_int32_bits m)
+
+let community_str c =
+  if c >= 65536 then Printf.sprintf "%d:%d" (c lsr 16) (c land 0xFFFF)
+  else string_of_int c
+
+(* Route-maps and their referenced community/prefix lists, named per
+   router so each configuration is self-contained. *)
+let render_route_map buf name (rm : Route_map.t) =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let comm_lists = ref [] and prefix_lists = ref [] in
+  List.iteri
+    (fun i (cl : Route_map.clause) ->
+      let seq = 10 * (i + 1) in
+      pr "route-map %s %s %d\n" name
+        (match cl.verdict with Route_map.Permit -> "permit" | Route_map.Deny -> "deny")
+        seq;
+      List.iteri
+        (fun j cond ->
+          match cond with
+          | Route_map.Match_community cs ->
+            let ln = Printf.sprintf "%s_C%d_%d" name seq j in
+            comm_lists := (ln, cs) :: !comm_lists;
+            pr " match community %s\n" ln
+          | Route_map.Match_prefix ps ->
+            let ln = Printf.sprintf "%s_P%d_%d" name seq j in
+            prefix_lists := (ln, ps) :: !prefix_lists;
+            pr " match ip address prefix-list %s\n" ln)
+        cl.conds;
+      List.iter
+        (fun action ->
+          match action with
+          | Route_map.Set_local_pref n -> pr " set local-preference %d\n" n
+          | Route_map.Set_med n -> pr " set metric %d\n" n
+          | Route_map.Add_community c ->
+            pr " set community %s additive\n" (community_str c)
+          | Route_map.Delete_community c ->
+            pr " set comm-list %s_D%d delete\n" name seq;
+            comm_lists := (Printf.sprintf "%s_D%d" name seq, [ c ]) :: !comm_lists)
+        cl.actions;
+      pr "!\n")
+    rm;
+  List.iter
+    (fun (ln, cs) ->
+      List.iter
+        (fun c -> pr "ip community-list standard %s permit %s\n" ln (community_str c))
+        cs)
+    (List.rev !comm_lists);
+  List.iter
+    (fun (ln, ps) ->
+      List.iteri
+        (fun i p ->
+          pr "ip prefix-list %s seq %d permit %s\n" ln (5 * (i + 1))
+            (Prefix.to_string p))
+        ps)
+    (List.rev !prefix_lists);
+  if !comm_lists <> [] || !prefix_lists <> [] then pr "!\n"
+
+let router_config (net : Device.network) v =
+  let g = net.Device.graph in
+  let tbl = link_table net in
+  let r = net.Device.routers.(v) in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "hostname %s\n!\n" r.Device.name;
+  (* interfaces, one per neighbor *)
+  let nbrs = Array.to_list (Graph.succ g v) in
+  List.iteri
+    (fun i u ->
+      pr "interface Ethernet%d\n" i;
+      pr " description to %s\n" (Graph.name g u);
+      pr " ip address %s %s\n"
+        (Ipv4.to_string (local_ip tbl v u))
+        (mask_of_len 30);
+      (match Device.ospf_link_config r u with
+      | Some l ->
+        pr " ip ospf cost %d\n" l.Device.cost;
+        pr " ip ospf 1 area %d\n" l.Device.area
+      | None -> ());
+      (match Device.acl_for r u with
+      | Some _ -> pr " ip access-group ACL_E%d out\n" i
+      | None -> ());
+      pr "!\n")
+    nbrs;
+  (* loopback carrying originated prefixes *)
+  List.iteri
+    (fun i p ->
+      pr "interface Loopback%d\n ip address %s %s\n!\n" i
+        (Ipv4.to_string (p : Prefix.t).Prefix.addr)
+        (mask_of_len p.Prefix.len))
+    r.Device.originated;
+  (* OSPF *)
+  if r.Device.ospf_links <> [] then begin
+    pr "router ospf 1\n";
+    List.iter
+      (fun (u, (l : Device.ospf_link)) ->
+        let ip = local_ip tbl v u in
+        pr " network %s 0.0.0.3 area %d\n" (Ipv4.to_string ip) l.area)
+      r.Device.ospf_links;
+    if List.mem Multi.Bgp_into_ospf r.Device.redistribute then
+      pr " redistribute bgp %d subnets\n" (asn v);
+    pr "!\n"
+  end;
+  (* BGP *)
+  if r.Device.bgp_neighbors <> [] then begin
+    pr "router bgp %d\n" (asn v);
+    List.iter
+      (fun p ->
+        pr " network %s mask %s\n"
+          (Ipv4.to_string (p : Prefix.t).Prefix.addr)
+          (mask_of_len p.Prefix.len))
+      r.Device.originated;
+    if List.mem Multi.Ospf_into_bgp r.Device.redistribute then
+      pr " redistribute ospf 1\n";
+    if List.mem Multi.Static_into_bgp r.Device.redistribute then
+      pr " redistribute static\n";
+    List.iteri
+      (fun i (u, (nb : Device.bgp_neighbor)) ->
+        let ip = Ipv4.to_string (peer_ip tbl v u) in
+        pr " neighbor %s remote-as %d\n" ip (if nb.ibgp then asn v else asn u);
+        pr " neighbor %s description %s\n" ip (Graph.name g u);
+        (match nb.import_rm with
+        | Some _ -> pr " neighbor %s route-map RM_IN_%d in\n" ip i
+        | None -> ());
+        match nb.export_rm with
+        | Some _ -> pr " neighbor %s route-map RM_OUT_%d out\n" ip i
+        | None -> ())
+      r.Device.bgp_neighbors;
+    pr "!\n"
+  end;
+  (* static routes *)
+  List.iter
+    (fun (p, nh) ->
+      pr "ip route %s %s %s\n"
+        (Ipv4.to_string (p : Prefix.t).Prefix.addr)
+        (mask_of_len p.Prefix.len)
+        (Ipv4.to_string (peer_ip tbl v nh)))
+    r.Device.static_routes;
+  if r.Device.static_routes <> [] then pr "!\n";
+  (* ACLs *)
+  List.iteri
+    (fun i (u, acl) ->
+      ignore u;
+      pr "ip access-list extended ACL_E%d\n" i;
+      List.iter
+        (fun (rule : Acl.rule) ->
+          pr " %s ip any %s %s\n"
+            (if rule.permit then "permit" else "deny")
+            (Ipv4.to_string rule.prefix.Prefix.addr)
+            (inverse_mask_of_len rule.prefix.Prefix.len))
+        acl;
+      pr "!\n")
+    r.Device.acl_out;
+  (* route-maps *)
+  List.iteri
+    (fun i (_, (nb : Device.bgp_neighbor)) ->
+      (match nb.import_rm with
+      | Some rm -> render_route_map buf (Printf.sprintf "RM_IN_%d" i) rm
+      | None -> ());
+      match nb.export_rm with
+      | Some rm -> render_route_map buf (Printf.sprintf "RM_OUT_%d" i) rm
+      | None -> ())
+    r.Device.bgp_neighbors;
+  pr "end\n";
+  Buffer.contents buf
+
+let to_string net =
+  let buf = Buffer.create 65536 in
+  for v = 0 to Graph.n_nodes net.Device.graph - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "! ================ %s ================\n"
+         (Graph.name net.Device.graph v));
+    Buffer.add_string buf (router_config net v)
+  done;
+  Buffer.contents buf
+
+let line_count net =
+  String.split_on_char '\n' (to_string net)
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

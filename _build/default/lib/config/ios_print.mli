@@ -1,0 +1,23 @@
+(** Rendering networks as Cisco-IOS-flavored configurations.
+
+    The paper's operational networks are "over 540,000 lines" of
+    vendor-specific configuration; this module renders our
+    vendor-independent model back into that style — one configuration per
+    router with interfaces, `router bgp`/`router ospf` stanzas,
+    route-maps, community lists, prefix lists, ACLs and static routes.
+
+    Addressing is synthesized deterministically: the k-th link of the
+    topology gets the /30 [10.254.0.0/16 + 4k], each endpoint taking one
+    host address; router N uses AS [65000 + N] (routers run their own AS,
+    as in the paper's datacenter). Output is for human consumption and
+    scale comparison — parsing IOS back is Batfish's job, not ours. *)
+
+val router_config : Device.network -> int -> string
+(** The configuration of one router. *)
+
+val to_string : Device.network -> string
+(** All router configurations, banner-separated. *)
+
+val line_count : Device.network -> int
+(** Total IOS-style configuration lines (compare with the paper's
+    540k/600k-line networks). *)

@@ -1,0 +1,130 @@
+type cond = Match_community of int list | Match_prefix of Prefix.t list
+
+type action =
+  | Set_local_pref of int
+  | Add_community of int
+  | Delete_community of int
+  | Set_med of int
+
+type verdict = Permit | Deny
+
+type clause = { verdict : verdict; conds : cond list; actions : action list }
+type t = clause list
+
+let permit_all = [ { verdict = Permit; conds = []; actions = [] } ]
+let deny_all = []
+
+let cond_holds ~dest a = function
+  | Match_community cs -> List.exists (fun c -> Bgp.has_comm c a) cs
+  | Match_prefix ps -> List.exists (fun p -> Prefix.subset dest p) ps
+
+let apply_action a = function
+  | Set_local_pref lp -> { a with Bgp.lp }
+  | Add_community c -> Bgp.add_comm c a
+  | Delete_community c -> Bgp.del_comm c a
+  | Set_med med -> { a with Bgp.med }
+
+let eval rm ~dest a =
+  let rec go = function
+    | [] -> None
+    | cl :: rest ->
+      if List.for_all (cond_holds ~dest a) cl.conds then
+        match cl.verdict with
+        | Deny -> None
+        | Permit -> Some (List.fold_left apply_action a cl.actions)
+      else go rest
+  in
+  go rm
+
+(* A prefix condition is static once the destination is fixed. *)
+let static_cond ~dest = function
+  | Match_prefix ps -> Some (List.exists (fun p -> Prefix.subset dest p) ps)
+  | Match_community _ -> None
+
+let relevant rm ~dest =
+  List.filter_map
+    (fun cl ->
+      let keep = ref true in
+      let conds =
+        List.filter
+          (fun c ->
+            match static_cond ~dest c with
+            | Some true -> false (* always holds: drop the condition *)
+            | Some false ->
+              keep := false;
+              false
+            | None -> true)
+          cl.conds
+      in
+      if !keep then Some { cl with conds } else None)
+    rm
+
+let sort_uniq = List.sort_uniq Int.compare
+
+let local_prefs rm ~dest =
+  relevant rm ~dest
+  |> List.concat_map (fun cl ->
+         if cl.verdict = Deny then []
+         else
+           List.filter_map
+             (function Set_local_pref lp -> Some lp | _ -> None)
+             cl.actions)
+  |> sort_uniq
+
+let communities_matched rm =
+  List.concat_map
+    (fun cl ->
+      List.concat_map
+        (function Match_community cs -> cs | Match_prefix _ -> [])
+        cl.conds)
+    rm
+  |> sort_uniq
+
+let communities_set rm =
+  List.concat_map
+    (fun cl ->
+      List.filter_map
+        (function
+          | Add_community c | Delete_community c -> Some c
+          | Set_local_pref _ | Set_med _ -> None)
+        cl.actions)
+    rm
+  |> sort_uniq
+
+let pp_cond ppf = function
+  | Match_community cs ->
+    Format.fprintf ppf "community {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      cs
+  | Match_prefix ps ->
+    Format.fprintf ppf "prefix {%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Prefix.pp)
+      ps
+
+let pp_action ppf = function
+  | Set_local_pref lp -> Format.fprintf ppf "set lp %d" lp
+  | Add_community c -> Format.fprintf ppf "add community %d" c
+  | Delete_community c -> Format.fprintf ppf "del community %d" c
+  | Set_med m -> Format.fprintf ppf "set med %d" m
+
+let pp ppf rm =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i cl ->
+      Format.fprintf ppf "%d %s match [%a] do [%a]@,"
+        (10 * (i + 1))
+        (match cl.verdict with Permit -> "permit" | Deny -> "deny")
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_cond)
+        cl.conds
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_action)
+        cl.actions)
+    rm;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/core/abstract_config.ml: Abstraction Array Device Graph List Option

@@ -1,0 +1,1 @@
+lib/core/abstract_config.mli: Abstraction Device

@@ -1,0 +1,1 @@
+lib/core/abstraction.ml: Array Bgp Compile Device Format Graph Hashtbl List Multi Option Policy_bdd Prefix Printf Union_split_find

@@ -1,0 +1,1 @@
+lib/core/abstraction.mli: Bgp Device Format Graph Multi Policy_bdd Prefix Srp Union_split_find

@@ -1,0 +1,1 @@
+lib/core/bonsai_api.ml: Abstraction Array Bdd Compile Device Domain Ecs Format Graph Hashtbl List Multi Policy_bdd Prefix Printf Refine Route_map String Timing Union_split_find

@@ -1,0 +1,1 @@
+lib/core/bonsai_api.mli: Abstraction Device Ecs Format Policy_bdd Refine

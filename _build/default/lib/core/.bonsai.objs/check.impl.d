@@ -1,0 +1,1 @@
+lib/core/check.ml: Abstraction Array Device Format Graph List Printf String

@@ -1,0 +1,1 @@
+lib/core/check.mli: Abstraction Compile Format

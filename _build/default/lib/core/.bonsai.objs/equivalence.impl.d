@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Abstraction Array Bgp Device Format Graph Hashtbl List Multi Option Solution Srp

@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Abstraction Bgp Multi Solution Srp

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Device Graph Hashtbl Int List Queue Union_split_find

@@ -1,0 +1,1 @@
+lib/core/refine.mli: Device Union_split_find

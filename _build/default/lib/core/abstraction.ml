@@ -1,0 +1,210 @@
+type t = {
+  net : Device.network;
+  dest : int;
+  dest_prefix : Prefix.t;
+  group_of : int array;
+  groups : int list array;
+  copies : int array;
+  abs_of_group : int array;
+  group_of_abs : int array;
+  abs_graph : Graph.t;
+  abs_dest : int;
+  universe : Policy_bdd.universe;
+}
+
+let f t u = t.abs_of_group.(t.group_of.(u))
+let n_abstract t = Graph.n_nodes t.abs_graph
+let members_of_abs t a = t.groups.(t.group_of_abs.(a))
+
+let repr_of_abs t a =
+  match members_of_abs t a with
+  | m :: _ -> m
+  | [] -> invalid_arg "Abstraction.repr_of_abs: empty group"
+
+(* Group-level edge representatives, computed once. *)
+let group_edge_reprs (net : Device.network) group_of =
+  let reprs = Hashtbl.create 256 in
+  Graph.iter_edges net.graph (fun u v ->
+      let key = (group_of.(u), group_of.(v)) in
+      match Hashtbl.find_opt reprs key with
+      | Some (u', v') -> if (u, v) < (u', v') then Hashtbl.replace reprs key (u, v)
+      | None -> Hashtbl.replace reprs key (u, v));
+  reprs
+
+let make net ~dest ~dest_prefix ~universe ~partition ~copies =
+  let n = Graph.n_nodes net.Device.graph in
+  let group_of = Union_split_find.canonical partition in
+  let n_groups = Union_split_find.num_classes partition in
+  let groups = Array.make n_groups [] in
+  for u = n - 1 downto 0 do
+    groups.(group_of.(u)) <- u :: groups.(group_of.(u))
+  done;
+  let edge_reprs = group_edge_reprs net group_of in
+  let copies_arr =
+    Array.init n_groups (fun g ->
+        match groups.(g) with
+        | [] -> invalid_arg "Abstraction.make: empty group"
+        | m :: _ as ms ->
+          if List.mem dest ms then 1
+          else max 1 (min (copies m) (List.length ms)))
+  in
+  (* Intra-group concrete edges yield no abstract self-loop (see
+     Refine): for single-copy groups they are simply omitted; for split
+     groups they become edges between distinct copies below. *)
+  let abs_of_group = Array.make n_groups 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun g c ->
+      abs_of_group.(g) <- !total;
+      total := !total + c)
+    copies_arr;
+  let n_abs = !total in
+  let group_of_abs = Array.make n_abs 0 in
+  Array.iteri
+    (fun g c ->
+      for i = 0 to c - 1 do
+        group_of_abs.(abs_of_group.(g) + i) <- g
+      done)
+    copies_arr;
+  let b = Graph.Builder.create () in
+  for a = 0 to n_abs - 1 do
+    let g = group_of_abs.(a) in
+    let m = List.hd groups.(g) in
+    let size = List.length groups.(g) in
+    let copy = a - abs_of_group.(g) in
+    let name =
+      if copies_arr.(g) > 1 then
+        Printf.sprintf "~%s(%d)#%d" (Graph.name net.Device.graph m) size copy
+      else if size > 1 then
+        Printf.sprintf "~%s(%d)" (Graph.name net.Device.graph m) size
+      else Printf.sprintf "~%s" (Graph.name net.Device.graph m)
+    in
+    ignore (Graph.Builder.add_node b name)
+  done;
+  Hashtbl.iter
+    (fun (g1, g2) _ ->
+      for i = 0 to copies_arr.(g1) - 1 do
+        for j = 0 to copies_arr.(g2) - 1 do
+          let a1 = abs_of_group.(g1) + i and a2 = abs_of_group.(g2) + j in
+          if a1 <> a2 then Graph.Builder.add_edge b a1 a2
+        done
+      done)
+    edge_reprs;
+  let abs_graph = Graph.Builder.build b in
+  {
+    net;
+    dest;
+    dest_prefix;
+    group_of;
+    groups;
+    copies = copies_arr;
+    abs_of_group;
+    group_of_abs;
+    abs_graph;
+    abs_dest = abs_of_group.(group_of.(dest));
+    universe;
+  }
+
+let repr_edge t a1 a2 =
+  let reprs = group_edge_reprs t.net t.group_of in
+  match Hashtbl.find_opt reprs (t.group_of_abs.(a1), t.group_of_abs.(a2)) with
+  | Some e -> e
+  | None -> raise Not_found
+
+(* Memoized variant used by the abstract SRPs (rebuilding the table per
+   edge lookup would be quadratic). *)
+let edge_repr_fun t =
+  let reprs = group_edge_reprs t.net t.group_of in
+  fun a1 a2 ->
+    match Hashtbl.find_opt reprs (t.group_of_abs.(a1), t.group_of_abs.(a2)) with
+    | Some e -> e
+    | None -> raise Not_found
+
+let erase_comms t (a : Bgp.attr) =
+  let in_universe c =
+    Array.exists (fun c' -> c' = c) t.universe.Policy_bdd.comms
+  in
+  { a with Bgp.comms = List.filter in_universe a.comms }
+
+let h_attr t ~fr (a : Bgp.attr) =
+  { (erase_comms t a) with Bgp.path = List.map fr a.path }
+
+let bgp_srp ?loop_prevention t =
+  let repr = edge_repr_fun t in
+  (* The abstract policy is the representative concrete policy composed
+     with the attribute abstraction h: communities outside the BDD
+     universe (set but never matched anywhere) are erased, so abstract
+     attributes are exactly the h-images of concrete ones. *)
+  let policy a1 a2 =
+    let u, v = repr a1 a2 in
+    let p = Compile.bgp_policy t.net ~dest:t.dest_prefix u v in
+    fun a -> Option.map (erase_comms t) (p a)
+  in
+  Bgp.make ?loop_prevention ~tie_filter:(Compile.matched_comms t.net) ~policy
+    t.abs_graph ~dest:t.abs_dest
+
+let multi_srp t =
+  let repr = edge_repr_fun t in
+  let r = t.net.Device.routers in
+  let ospf_link a1 a2 =
+    let u, v = repr a1 a2 in
+    match
+      (Device.ospf_link_config r.(u) v, Device.ospf_link_config r.(v) u)
+    with
+    | Some l, Some _ -> Some l
+    | _ -> None
+  in
+  let bgp_nb a1 a2 =
+    let u, v = repr a1 a2 in
+    match
+      (Device.bgp_neighbor_config r.(u) v, Device.bgp_neighbor_config r.(v) u)
+    with
+    | Some nb, Some _ -> Some nb
+    | _ -> None
+  in
+  let statics = ref [] in
+  Graph.iter_edges t.abs_graph (fun a1 a2 ->
+      let u, v = repr a1 a2 in
+      if List.mem v (Device.static_next_hops r.(u) ~dest:t.dest_prefix) then
+        statics := (a1, a2) :: !statics);
+  let dest_r = r.(t.dest) in
+  let origin_protocols =
+    (if dest_r.Device.bgp_neighbors <> [] then [ Multi.P_ebgp ] else [])
+    @ (if dest_r.Device.ospf_links <> [] then [ Multi.P_ospf ] else [])
+  in
+  let origin_protocols =
+    if origin_protocols = [] then [ Multi.P_ebgp ] else origin_protocols
+  in
+  Multi.make
+    ~ospf_cost:(fun a1 a2 ->
+      match ospf_link a1 a2 with Some l -> l.Device.cost | None -> 1)
+    ~ospf_area:(fun a -> r.(repr_of_abs t a).Device.ospf_area)
+    ~ospf_enabled:(fun a1 a2 -> Option.is_some (ospf_link a1 a2))
+    ~bgp_enabled:(fun a1 a2 -> Option.is_some (bgp_nb a1 a2))
+    ~ibgp:(fun a1 a2 ->
+      match bgp_nb a1 a2 with Some nb -> nb.Device.ibgp | None -> false)
+    ~bgp_policy:(fun a1 a2 ->
+      let u, v = repr a1 a2 in
+      let p = Compile.bgp_policy t.net ~dest:t.dest_prefix u v in
+      fun a -> Option.map (erase_comms t) (p a))
+    ~static_routes:!statics
+    ~redistribute:(fun a -> r.(repr_of_abs t a).Device.redistribute)
+    ~bgp_tie_filter:(Compile.matched_comms t.net)
+    ~origin_protocols t.abs_graph ~dest:t.abs_dest
+
+let compression_ratio t =
+  let n = float_of_int (Graph.n_nodes t.net.Device.graph) in
+  let e = float_of_int (max 1 (Graph.n_links t.net.Device.graph)) in
+  let n' = float_of_int (n_abstract t) in
+  let e' = float_of_int (max 1 (Graph.n_links t.abs_graph)) in
+  (n /. n', e /. e')
+
+let pp_summary ppf t =
+  let rn, re = compression_ratio t in
+  Format.fprintf ppf
+    "%a: %d/%d nodes, %d/%d links (%.1fx / %.1fx)" Prefix.pp t.dest_prefix
+    (Graph.n_nodes t.net.Device.graph)
+    (n_abstract t)
+    (Graph.n_links t.net.Device.graph)
+    (Graph.n_links t.abs_graph)
+    rn re

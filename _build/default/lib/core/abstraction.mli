@@ -1,0 +1,73 @@
+(** Network abstractions (paper §4): the result of compression for one
+    destination equivalence class.
+
+    An abstraction partitions the concrete nodes into {e groups} with
+    equal transfer behavior; each group becomes one abstract node — except
+    groups whose members use several BGP local-preference values, which
+    are split into [min(|prefs|, |members|)] abstract {e copies} (the
+    intermediate network [SRP‾] of §4.3: the concrete-to-copy mapping is
+    solution-dependent). The abstract topology has an edge between two
+    abstract nodes iff some pair of their concrete members is adjacent. *)
+
+type t = {
+  net : Device.network;
+  dest : int;
+  dest_prefix : Prefix.t;
+  group_of : int array;  (** concrete node -> group id *)
+  groups : int list array;  (** group id -> sorted members *)
+  copies : int array;  (** group id -> number of abstract copies, >= 1 *)
+  abs_of_group : int array;  (** group id -> first abstract node id *)
+  group_of_abs : int array;  (** abstract node id -> its group *)
+  abs_graph : Graph.t;
+  abs_dest : int;
+  universe : Policy_bdd.universe;
+}
+
+val make :
+  Device.network ->
+  dest:int ->
+  dest_prefix:Prefix.t ->
+  universe:Policy_bdd.universe ->
+  partition:Union_split_find.t ->
+  copies:(int -> int) ->
+  t
+(** Build the abstract network from a refined partition. [copies] gives
+    the number of abstract copies for a partition class (keyed by a member
+    node); classes containing the destination always get one copy.
+    Concrete edges between members of one group produce no abstract
+    self-loop (they are dead transfers — see {!Refine}); between copies of
+    a split group they become inter-copy edges. *)
+
+val f : t -> int -> int
+(** The topology abstraction [f] on nodes (for split groups: the first
+    copy; the per-solution refinement picks actual copies). *)
+
+val n_abstract : t -> int
+val members_of_abs : t -> int -> int list
+val repr_of_abs : t -> int -> int
+(** The least concrete member, used as the group representative. *)
+
+val repr_edge : t -> int -> int -> int * int
+(** [repr_edge t û v̂] is a concrete edge [(u, v)] with [u 7→ û], [v 7→ v̂]
+    (groups taken up to copies). @raise Not_found if no such edge. *)
+
+val h_attr : t -> fr:(int -> int) -> Bgp.attr -> Bgp.attr
+(** The attribute abstraction [h] for BGP (§4.3 and §8):
+    [(lp, tags, path) ↦ (lp, tags − unused, fr(path))] — communities
+    outside the BDD universe are erased, the AS path is mapped node-wise
+    through the given node mapping (usually {!f}, or a solution-specific
+    refinement). *)
+
+val bgp_srp : ?loop_prevention:bool -> t -> Bgp.attr Srp.t
+(** The abstract BGP SRP: policies are taken from representative concrete
+    edges (sound by transfer-equivalence of the refined partition). *)
+
+val multi_srp : t -> Multi.attr Srp.t
+(** The abstract multi-protocol SRP, mapping each protocol's per-edge
+    configuration through representative edges. *)
+
+val compression_ratio : t -> float * float
+(** (node ratio, edge ratio): concrete size over abstract size, counting
+    undirected links. *)
+
+val pp_summary : Format.formatter -> t -> unit

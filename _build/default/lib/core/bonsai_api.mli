@@ -1,0 +1,71 @@
+(** Bonsai: end-to-end control plane compression (paper §5, §7, §8).
+
+    [compress] partitions the destinations into equivalence classes,
+    builds one BDD universe for the whole network, and computes one
+    abstraction per class (the paper processes classes in parallel; we
+    process them sequentially and report per-class times). *)
+
+type ec_result = {
+  ec : Ecs.ec;
+  abstraction : Abstraction.t;
+  refine_stats : Refine.stats;
+  time_s : float;  (** wall-clock compression time for this class *)
+}
+
+type summary = {
+  net : Device.network;
+  bdd_time_s : float;
+      (** time to build the BDD universe and encode every interface
+          policy for the first class (the paper's "BDD time") *)
+  results : ec_result list;
+  skipped_anycast : int;  (** multi-origin classes (not supported) *)
+}
+
+val compress_ec :
+  ?universe:Policy_bdd.universe ->
+  Device.network ->
+  Ecs.ec ->
+  ec_result
+(** Compress one destination class. @raise Invalid_argument on an anycast
+    class. *)
+
+val compress :
+  ?keep_unmatched_comms:bool ->
+  ?stride:int ->
+  ?max_ecs:int ->
+  ?domains:int ->
+  Device.network ->
+  summary
+(** Compress every destination class. For sampling large networks,
+    [stride] keeps every k-th class and [max_ecs] caps how many are
+    processed. [keep_unmatched_comms] selects the naive attribute
+    abstraction (see {!Policy_bdd.universe_of_network}). [domains] > 1
+    processes classes in parallel on that many OCaml domains (destination
+    classes are disjoint, exactly the parallelism the paper exploits, §7);
+    each domain owns a private BDD manager. *)
+
+(** {1 Reporting} *)
+
+val mean_abs_nodes : summary -> float
+val mean_abs_links : summary -> float
+val stddev_abs_nodes : summary -> float
+val stddev_abs_links : summary -> float
+val mean_time_per_ec : summary -> float
+
+val roles :
+  ?keep_unmatched_comms:bool -> Device.network -> int
+(** Number of unique router "roles": routers are identified by the vector
+    of their interface policies — import/export route-maps compared
+    semantically as BDDs — plus their static routes, ACLs, OSPF interface
+    configuration and redistributions. Reproduces the paper's role
+    counts (§8: 112 naive vs 26 semantic roles on the datacenter). *)
+
+val explain :
+  Device.network -> Ecs.ec -> int -> int -> string list
+(** [explain net ec u v] — why two routers ended up in different roles for
+    this destination class: human-readable differences between their
+    (signature, neighbor-role) sets (policy inequality, ACLs, OSPF costs,
+    static routes, preference levels, or differing neighbor roles). Empty
+    when the two routers share a role. *)
+
+val pp_summary : Format.formatter -> summary -> unit

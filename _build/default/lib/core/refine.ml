@@ -1,0 +1,100 @@
+type stats = { iterations : int; splits : int }
+
+let group_prefs ~prefs members =
+  List.concat_map prefs members |> List.sort_uniq Int.compare
+
+let find_partition ?(live_self = fun _ _ -> false) (net : Device.network)
+    ~dest ~signature ~prefs =
+  let g = net.Device.graph in
+  let n = Graph.n_nodes g in
+  let part = Union_split_find.create n in
+  if n > 1 then ignore (Union_split_find.split part [ dest ]);
+  let iterations = ref 0 and splits = ref 0 in
+  (* Worklist of classes to (re)examine. A node's key depends on its own
+     interface signatures (fixed) and on the class ids of its successors,
+     so when members move to a fresh class, only the classes of their
+     graph predecessors can be affected. *)
+  let pending = Queue.create () in
+  let in_pending = Hashtbl.create 64 in
+  let push c =
+    if not (Hashtbl.mem in_pending c) then begin
+      Hashtbl.replace in_pending c ();
+      Queue.add c pending
+    end
+  in
+  let refine_class cls =
+    let members = Union_split_find.members part cls in
+    if List.length members > 1 then begin
+      let num_prefs = List.length (group_prefs ~prefs members) in
+      (* The key includes BOTH directions of each incident edge: a node is
+         also characterized by how its neighbors treat routes from it
+         (e.g. two upstreams are different roles when downstream import
+         policies assign them different preferences, even though their own
+         configurations agree). *)
+      let key u =
+        Array.to_list (Graph.succ g u)
+        |> List.map (fun v ->
+               let nbr =
+                 if num_prefs > 1 then v else Union_split_find.find part v
+               in
+               (signature u v, signature v u, nbr))
+        |> List.sort_uniq compare
+      in
+      match Union_split_find.refine part ~cls ~key with
+      | [] -> ()
+      | fresh ->
+        incr splits;
+        push cls;
+        List.iter
+          (fun c ->
+            push c;
+            List.iter
+              (fun v -> Array.iter (fun w -> push (Union_split_find.find part w)) (Graph.pred g v))
+              (Union_split_find.members part c))
+          fresh
+    end
+  in
+  let signature_fixpoint () =
+    List.iter push (Union_split_find.class_ids part);
+    while not (Queue.is_empty pending) do
+      incr iterations;
+      let c = Queue.pop pending in
+      Hashtbl.remove in_pending c;
+      if Union_split_find.class_size part c > 1 then refine_class c
+    done
+  in
+  (* Intra-class edges whose transfer is {e live} (does not depend on the
+     neighbor's label — static routes) cannot be dropped as dead abstract
+     self-loops: a merged class would hide e.g. a static forwarding loop
+     (Figure 6 misconfigured). Peel one endpoint and re-refine. *)
+  let peel_live_self_edges () =
+    let changed = ref false in
+    List.iter
+      (fun cls ->
+        let members = Union_split_find.members part cls in
+        if List.length members > 1 && !changed = false then begin
+          let in_class = Hashtbl.create 8 in
+          List.iter (fun u -> Hashtbl.replace in_class u ()) members;
+          let offender =
+            List.find_opt
+              (fun u ->
+                Array.exists
+                  (fun v -> Hashtbl.mem in_class v && live_self u v)
+                  (Graph.succ g u))
+              members
+          in
+          match offender with
+          | Some u ->
+            ignore (Union_split_find.split part [ u ]);
+            incr splits;
+            changed := true
+          | None -> ()
+        end)
+      (Union_split_find.class_ids part);
+    !changed
+  in
+  signature_fixpoint ();
+  while peel_live_self_edges () do
+    signature_fixpoint ()
+  done;
+  (part, { iterations = !iterations; splits = !splits })

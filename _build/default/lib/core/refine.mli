@@ -1,0 +1,42 @@
+(** Abstraction refinement (paper §5, Algorithm 1).
+
+    Starting from the coarsest partition (destination alone, everything
+    else together), repeatedly split classes whose members disagree on
+    their multiset of (interface signature, neighbor) pairs. The neighbor
+    is taken {e abstractly} ([f v]) for classes whose members use a single
+    BGP local-preference value (the ∀∃ case) and {e concretely} ([v]) for
+    classes with several (the ∀∀ case needed to bound BGP loop-prevention
+    behaviors, §4.3).
+
+    Classes may keep internal edges (e.g. the non-destination class of a
+    full mesh): the corresponding abstract self-loop is {e omitted} from
+    the abstract topology rather than split away. This matches the paper's
+    own full-mesh result (2 nodes, 1 edge, Table 1) and is sound because a
+    self-loop transfer can never be chosen: BGP's loop prevention rejects
+    the re-entrant path outright, and the monotone metrics of RIP/OSPF
+    make the self-offer strictly worse than the route it was derived
+    from. *)
+
+type stats = {
+  iterations : int;  (** passes of the outer fixpoint loop *)
+  splits : int;  (** total class splits performed *)
+}
+
+val find_partition :
+  ?live_self:(int -> int -> bool) ->
+  Device.network ->
+  dest:int ->
+  signature:(int -> int -> 'k) ->
+  prefs:(int -> int list) ->
+  Union_split_find.t * stats
+(** Computes the refined partition. [signature u v] is the directed-edge
+    signature (usually {!Compile.edge_signatures}, but any type compared
+    structurally works); [prefs u] the local-preference values assignable
+    at [u] ({!Compile.prefs}). [live_self u v] (default: never) marks
+    edges whose transfer does not depend on the neighbor's label — static
+    routes; classes containing such an internal edge are split, because
+    those self-loops cannot be dropped as dead. *)
+
+val group_prefs : prefs:(int -> int list) -> int list -> int list
+(** Union of [prefs] over the members of a class — the paper's
+    [prefs(û)]. *)

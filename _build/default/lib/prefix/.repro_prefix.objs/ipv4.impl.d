@@ -1,0 +1,1 @@
+lib/prefix/ipv4.ml: Format Int Printf String

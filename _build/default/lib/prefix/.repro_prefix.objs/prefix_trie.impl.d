@@ -1,0 +1,1 @@
+lib/prefix/prefix_trie.ml: Ipv4 List Prefix

@@ -1,0 +1,1 @@
+lib/prefix/prefix_trie.mli: Ipv4 Prefix

@@ -1,0 +1,53 @@
+type t = { addr : Ipv4.t; len : int }
+
+let mask len = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: bad length";
+  let a = Ipv4.to_int addr land mask len in
+  { addr = Ipv4.of_int32_bits a; len }
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> Option.map (fun a -> make a 32) (Ipv4.of_string_opt s)
+  | Some i -> (
+    let addr = String.sub s 0 i in
+    let len = String.sub s (i + 1) (String.length s - i - 1) in
+    match (Ipv4.of_string_opt addr, int_of_string_opt len) with
+    | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+    | _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some p -> p
+  | None -> invalid_arg ("Prefix.of_string: " ^ s)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.addr) p.len
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let compare a b =
+  match Int.compare (Ipv4.to_int a.addr) (Ipv4.to_int b.addr) with
+  | 0 -> Int.compare a.len b.len
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let mem a p = Ipv4.to_int a land mask p.len = Ipv4.to_int p.addr
+
+let subset p q = p.len >= q.len && mem p.addr q
+
+let overlap p q = subset p q || subset q p
+
+let bit p i =
+  if i < 0 || i >= p.len then invalid_arg "Prefix.bit: index out of range";
+  Ipv4.bit p.addr i
+
+let split p =
+  if p.len >= 32 then invalid_arg "Prefix.split: cannot split a /32";
+  let lo = make p.addr (p.len + 1) in
+  let hi_addr =
+    Ipv4.of_int32_bits (Ipv4.to_int p.addr lor (1 lsl (31 - p.len)))
+  in
+  (lo, make hi_addr (p.len + 1))
+
+let default = make (Ipv4.of_int32_bits 0) 0

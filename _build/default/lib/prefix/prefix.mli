@@ -1,0 +1,34 @@
+(** IPv4 prefixes (address + mask length) and containment tests. *)
+
+type t = private { addr : Ipv4.t; len : int }
+
+val make : Ipv4.t -> int -> t
+(** [make addr len] normalizes [addr] by zeroing host bits.
+    @raise Invalid_argument unless [0 <= len <= 32]. *)
+
+val of_string : string -> t
+(** Parse ["a.b.c.d/len"]. A bare address is read as a /32. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val mem : Ipv4.t -> t -> bool
+(** [mem a p] holds when address [a] lies inside prefix [p]. *)
+
+val subset : t -> t -> bool
+(** [subset p q] holds when every address of [p] lies in [q]. *)
+
+val overlap : t -> t -> bool
+
+val bit : t -> int -> bool
+(** [bit p i] is bit [i] of the prefix address, [0 <= i < len p]. *)
+
+val split : t -> t * t
+(** [split p] is the two half-prefixes of [p].
+    @raise Invalid_argument on a /32. *)
+
+val default : t
+(** [0.0.0.0/0]. *)

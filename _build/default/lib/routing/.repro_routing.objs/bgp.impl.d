@@ -1,0 +1,1 @@
+lib/routing/bgp.ml: Format Int List Srp Stdlib

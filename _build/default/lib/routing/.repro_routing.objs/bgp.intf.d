@@ -1,0 +1,1 @@
+lib/routing/bgp.mli: Format Graph Srp

@@ -1,0 +1,1 @@
+lib/routing/multi.ml: Bgp Format Graph Hashtbl Int List Option Ospf Srp String

@@ -1,0 +1,1 @@
+lib/routing/multi.mli: Bgp Format Graph Ospf Srp

@@ -1,0 +1,1 @@
+lib/routing/ospf.ml: Bool Format Int Srp

@@ -1,0 +1,1 @@
+lib/routing/ospf.mli: Format Graph Srp

@@ -1,0 +1,1 @@
+lib/routing/rip.ml: Format Int Srp

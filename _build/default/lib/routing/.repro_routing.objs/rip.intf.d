@@ -1,0 +1,1 @@
+lib/routing/rip.mli: Format Graph Srp

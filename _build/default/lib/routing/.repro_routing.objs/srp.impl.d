@@ -1,0 +1,1 @@
+lib/routing/srp.ml: Format Graph

@@ -1,0 +1,1 @@
+lib/routing/srp.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/routing/static_route.ml: Format Graph Hashtbl List Srp

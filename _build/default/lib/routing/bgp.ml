@@ -1,0 +1,67 @@
+type attr = { lp : int; med : int; comms : int list; path : int list }
+
+let default_lp = 100
+let init = { lp = default_lp; med = 0; comms = []; path = [] }
+
+(* Higher local preference preferred, then shorter AS path, then lower
+   MED, then a deterministic tie-break on the {e policy-relevant} subset of
+   the community set ([tie_filter], standing in for BGP's deterministic
+   best-path selection; restricting it to communities some policy can
+   observe keeps it commuting with the attribute abstraction h, preserving
+   rank-equivalence). Routes differing only in their AS path remain ties
+   (≈), enabling multipath. *)
+let compare_with ~tie_filter a b =
+  match Int.compare b.lp a.lp with
+  | 0 -> (
+    match Int.compare (List.length a.path) (List.length b.path) with
+    | 0 -> (
+      match Int.compare a.med b.med with
+      | 0 ->
+        Stdlib.compare (List.filter tie_filter a.comms)
+          (List.filter tie_filter b.comms)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let compare a b = compare_with ~tie_filter:(fun _ -> true) a b
+
+let rec add_sorted x = function
+  | [] -> [ x ]
+  | y :: rest as l ->
+    if x < y then x :: l else if x = y then l else y :: add_sorted x rest
+
+let add_comm c a = { a with comms = add_sorted c a.comms }
+let del_comm c a = { a with comms = List.filter (fun x -> x <> c) a.comms }
+let has_comm c a = List.mem c a.comms
+
+type policy = attr -> attr option
+
+let pp ppf a =
+  Format.fprintf ppf "(%d, {%a}, [%a])" a.lp
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    a.comms
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    a.path
+
+let make ?(loop_prevention = true) ?(init = init)
+    ?(tie_filter = fun _ -> true) ~policy graph ~dest =
+  {
+    Srp.graph;
+    dest;
+    init;
+    compare = compare_with ~tie_filter;
+    trans =
+      (fun u v a ->
+        match a with
+        | None -> None
+        | Some a ->
+          let path = v :: a.path in
+          if loop_prevention && List.mem u path then None
+          else policy u v { a with path });
+    attr_equal = ( = );
+    pp_attr = pp;
+  }

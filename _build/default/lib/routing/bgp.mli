@@ -1,0 +1,58 @@
+(** eBGP (path vector, paper §3.2 and Figure 5).
+
+    Attributes are tuples of a local-preference value, a set of community
+    tags and the AS path (we give every router its own AS number, as in
+    large data centers; see the paper). The comparison relation prefers
+    higher local preference, then shorter AS paths, then lower MED. The
+    transfer function appends the sending neighbor to the AS path, drops
+    the route if the receiving node already occurs in it (BGP's implicit
+    loop prevention — the feature that makes plain transfer-equivalence
+    unattainable, §4.3), and then applies the configured per-edge policy. *)
+
+type attr = {
+  lp : int;  (** local preference; higher is preferred (default 100) *)
+  med : int;  (** multi-exit discriminator; lower is preferred *)
+  comms : int list;  (** community tags, sorted ascending, no duplicates *)
+  path : int list;  (** AS path, nearest hop first; excludes the owner *)
+}
+
+val default_lp : int
+(** 100. *)
+
+val init : attr
+(** The destination's announcement [(100, ∅, [])]. *)
+
+val compare : attr -> attr -> int
+(** Negative means preferred. Ties (0) are the paper's [≈] and permit
+    multipath forwarding. After local preference, path length and MED, a
+    deterministic tie-break on the community set stands in for BGP's
+    deterministic best-path selection. *)
+
+val compare_with : tie_filter:(int -> bool) -> attr -> attr -> int
+(** Like {!compare} but the community tie-break only sees communities
+    satisfying [tie_filter] (in compiled networks: communities some policy
+    actually matches on, so ranking commutes with the attribute
+    abstraction [h]). *)
+
+val add_comm : int -> attr -> attr
+val del_comm : int -> attr -> attr
+val has_comm : int -> attr -> bool
+
+type policy = attr -> attr option
+(** A per-edge routing policy, already specialized to a destination:
+    import/export filters composed. [None] means the route is filtered. *)
+
+val make :
+  ?loop_prevention:bool ->
+  ?init:attr ->
+  ?tie_filter:(int -> bool) ->
+  policy:(int -> int -> policy) ->
+  Graph.t ->
+  dest:int ->
+  attr Srp.t
+(** [make ~policy g ~dest]: [policy u v] is the policy applied to routes
+    received at [u] from neighbor [v] (after the AS-path append and loop
+    check). [loop_prevention] defaults to [true]; disabling it yields the
+    idealized BGP of Theorem 4.2/Corollary A.1 used in tests. *)
+
+val pp : Format.formatter -> attr -> unit

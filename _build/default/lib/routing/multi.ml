@@ -1,0 +1,169 @@
+type proto = P_static | P_ospf | P_ebgp | P_ibgp
+
+let admin_distance = function
+  | P_static -> 1
+  | P_ebgp -> 20
+  | P_ospf -> 110
+  | P_ibgp -> 200
+
+type bgp_route = { battr : Bgp.attr; via_ibgp : bool }
+
+type attr = {
+  static_ : bool;
+  ospf : Ospf.attr option;
+  bgp : bgp_route option;
+}
+
+let bgp_proto b = if b.via_ibgp then P_ibgp else P_ebgp
+
+let selected a =
+  let candidates =
+    (if a.static_ then [ P_static ] else [])
+    @ (match a.ospf with Some _ -> [ P_ospf ] | None -> [])
+    @ (match a.bgp with Some b -> [ bgp_proto b ] | None -> [])
+  in
+  match candidates with
+  | [] -> invalid_arg "Multi.selected: empty attribute"
+  | p :: rest ->
+    List.fold_left
+      (fun best q -> if admin_distance q < admin_distance best then q else best)
+      p rest
+
+let compare_with ~tie_filter a b =
+  let pa = selected a and pb = selected b in
+  match Int.compare (admin_distance pa) (admin_distance pb) with
+  | 0 -> (
+    match pa with
+    | P_static -> 0
+    | P_ospf -> (
+      match (a.ospf, b.ospf) with
+      | Some x, Some y -> Ospf.compare x y
+      | _ -> assert false)
+    | P_ebgp | P_ibgp -> (
+      match (a.bgp, b.bgp) with
+      | Some x, Some y -> Bgp.compare_with ~tie_filter x.battr y.battr
+      | _ -> assert false))
+  | c -> c
+
+let compare a b = compare_with ~tie_filter:(fun _ -> true) a b
+
+type redistribution = Ospf_into_bgp | Static_into_bgp | Bgp_into_ospf
+
+let pp ppf a =
+  let parts = ref [] in
+  (match a.bgp with
+  | Some b ->
+    parts :=
+      Format.asprintf "%s:%a" (if b.via_ibgp then "ibgp" else "ebgp") Bgp.pp b.battr
+      :: !parts
+  | None -> ());
+  (match a.ospf with
+  | Some o -> parts := Format.asprintf "ospf:%a" Ospf.pp o :: !parts
+  | None -> ());
+  if a.static_ then parts := "static" :: !parts;
+  Format.fprintf ppf "{%s | sel=%s}"
+    (String.concat "; " !parts)
+    (match selected a with
+    | P_static -> "static"
+    | P_ospf -> "ospf"
+    | P_ebgp -> "ebgp"
+    | P_ibgp -> "ibgp")
+
+let make ?(ospf_cost = fun _ _ -> 1) ?(ospf_area = fun _ -> 0)
+    ?(ospf_enabled = fun _ _ -> true) ?(bgp_enabled = fun _ _ -> true)
+    ?(ibgp = fun _ _ -> false) ?(bgp_policy = fun _ _ a -> Some a)
+    ?(static_routes = []) ?(redistribute = fun _ -> [])
+    ?(bgp_tie_filter = fun _ -> true)
+    ?(origin_protocols = [ P_ospf; P_ebgp ]) graph ~dest =
+  let static_set = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) ->
+      if not (Graph.has_edge graph u v) then
+        invalid_arg "Multi.make: static route along a missing edge";
+      Hashtbl.replace static_set (u, v) ())
+    static_routes;
+  let init =
+    {
+      static_ = List.mem P_static origin_protocols;
+      ospf =
+        (if List.mem P_ospf origin_protocols then
+           Some { Ospf.cost = 0; inter_area = false }
+         else None);
+      bgp =
+        (if List.mem P_ebgp origin_protocols then
+           Some { battr = Bgp.init; via_ibgp = false }
+         else None);
+    }
+  in
+  let trans u v a =
+    let static' = Hashtbl.mem static_set (u, v) in
+    (* Redistribution into OSPF at the advertising node [v]: if [v] holds a
+       BGP route but no OSPF route, it may originate one. *)
+    let ospf_raw = Option.bind a (fun x -> x.ospf) in
+    let ospf_in =
+      match ospf_raw with
+      | Some o -> Some o
+      | None ->
+        if
+          List.mem Bgp_into_ospf (redistribute v)
+          && Option.is_some (Option.bind a (fun x -> x.bgp))
+        then Some { Ospf.cost = 0; inter_area = false }
+        else None
+    in
+    let ospf' =
+      match ospf_in with
+      | Some o when ospf_enabled u v ->
+        Some
+          {
+            Ospf.cost = o.Ospf.cost + ospf_cost u v;
+            inter_area = o.Ospf.inter_area || ospf_area u <> ospf_area v;
+          }
+      | _ -> None
+    in
+    (* Redistribution happens at the advertising node [v]: if [v] has no
+       BGP route but holds a redistributable one, it originates a fresh
+       BGP announcement. *)
+    let bgp_at_v =
+      match Option.bind a (fun x -> x.bgp) with
+      | Some b -> Some b
+      | None ->
+        let rs = redistribute v in
+        let have_ospf = Option.is_some ospf_raw in
+        let have_static = match a with Some x -> x.static_ | None -> false in
+        if
+          (List.mem Ospf_into_bgp rs && have_ospf)
+          || (List.mem Static_into_bgp rs && have_static)
+        then Some { battr = Bgp.init; via_ibgp = false }
+        else None
+    in
+    let bgp' =
+      match bgp_at_v with
+      | Some b when bgp_enabled u v ->
+        if ibgp u v then
+          if b.via_ibgp then None (* no re-advertisement over iBGP *)
+          else
+            Option.map
+              (fun battr -> { battr; via_ibgp = true })
+              (bgp_policy u v b.battr)
+        else
+          let path = v :: b.battr.Bgp.path in
+          if List.mem u path then None
+          else
+            Option.map
+              (fun battr -> { battr; via_ibgp = false })
+              (bgp_policy u v { b.battr with Bgp.path })
+      | _ -> None
+    in
+    if static' || Option.is_some ospf' || Option.is_some bgp' then
+      Some { static_ = static'; ospf = ospf'; bgp = bgp' }
+    else None
+  in
+  {
+    Srp.graph;
+    dest;
+    init;
+    compare = compare_with ~tie_filter:bgp_tie_filter;
+    trans;
+    attr_equal = ( = );
+    pp_attr = pp;
+  }

@@ -1,0 +1,59 @@
+(** Multi-protocol routing (paper §6): a single SRP whose attributes are
+    products of the per-protocol attributes plus the main RIB selection.
+
+    Each attribute carries the node's static-route presence, its OSPF route
+    and its BGP route (with an iBGP marker); the comparison relation selects
+    by administrative distance of the best available protocol and then by
+    that protocol's own order. Route redistribution injects routes from one
+    protocol into another inside the transfer function, following Batfish's
+    treatment as the paper describes.
+
+    iBGP follows the paper's §6 discussion: iBGP sessions do not extend the
+    AS path, and routes learned over iBGP are not re-advertised to other
+    iBGP neighbors (so iBGP session edges can never form usable loops). *)
+
+type proto = P_static | P_ospf | P_ebgp | P_ibgp
+
+val admin_distance : proto -> int
+(** Static 1, eBGP 20, OSPF 110, iBGP 200 (Cisco-style defaults). *)
+
+type bgp_route = { battr : Bgp.attr; via_ibgp : bool }
+
+type attr = {
+  static_ : bool;
+  ospf : Ospf.attr option;
+  bgp : bgp_route option;
+}
+(** Invariant: at least one component is present. *)
+
+val selected : attr -> proto
+(** The protocol the main RIB selects (least administrative distance among
+    present components). *)
+
+val compare : attr -> attr -> int
+
+val compare_with : tie_filter:(int -> bool) -> attr -> attr -> int
+(** Community tie-break restricted as in {!Bgp.compare_with}. *)
+
+type redistribution = Ospf_into_bgp | Static_into_bgp | Bgp_into_ospf
+
+val make :
+  ?ospf_cost:(int -> int -> int) ->
+  ?ospf_area:(int -> int) ->
+  ?ospf_enabled:(int -> int -> bool) ->
+  ?bgp_enabled:(int -> int -> bool) ->
+  ?ibgp:(int -> int -> bool) ->
+  ?bgp_policy:(int -> int -> Bgp.policy) ->
+  ?static_routes:(int * int) list ->
+  ?redistribute:(int -> redistribution list) ->
+  ?bgp_tie_filter:(int -> bool) ->
+  ?origin_protocols:proto list ->
+  Graph.t ->
+  dest:int ->
+  attr Srp.t
+(** Per-edge predicates receive [(u, v)] with [u] the receiving node.
+    [ospf_enabled]/[bgp_enabled] default to all edges; [ibgp] to none;
+    [bgp_policy] to accept-unchanged; [origin_protocols] (which protocols
+    the destination originates into) defaults to OSPF and eBGP. *)
+
+val pp : Format.formatter -> attr -> unit

@@ -1,0 +1,31 @@
+type attr = { cost : int; inter_area : bool }
+
+let compare a b =
+  match Bool.compare a.inter_area b.inter_area with
+  | 0 -> Int.compare a.cost b.cost
+  | c -> c
+
+let pp ppf a =
+  Format.fprintf ppf "%d%s" a.cost (if a.inter_area then "(inter)" else "")
+
+let make ?(cost = fun _ _ -> 1) ?(area = fun _ -> 0) graph ~dest =
+  {
+    Srp.graph;
+    dest;
+    init = { cost = 0; inter_area = false };
+    compare;
+    trans =
+      (fun u v a ->
+        match a with
+        | None -> None
+        | Some a ->
+          let c = cost u v in
+          if c <= 0 then invalid_arg "Ospf: link costs must be positive";
+          Some
+            {
+              cost = a.cost + c;
+              inter_area = a.inter_area || area u <> area v;
+            });
+    attr_equal = ( = );
+    pp_attr = pp;
+  }

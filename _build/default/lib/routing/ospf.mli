@@ -1,0 +1,21 @@
+(** OSPF (link state, paper §3.2): attributes are path costs, optionally
+    tagged as inter-area. Intra-area routes are preferred over inter-area
+    routes, then lower cost wins. The transfer function adds the configured
+    link cost and marks the inter-area bit when an edge crosses areas. *)
+
+type attr = { cost : int; inter_area : bool }
+
+val compare : attr -> attr -> int
+
+val make :
+  ?cost:(int -> int -> int) ->
+  ?area:(int -> int) ->
+  Graph.t ->
+  dest:int ->
+  attr Srp.t
+(** [make ~cost ~area g ~dest]. [cost u v] is the configured cost of the
+    link as seen by receiver [u] (default 1); [area n] assigns each node to
+    an OSPF area (default: single area 0). An edge is inter-area when its
+    endpoints' areas differ; once a route is inter-area it stays so. *)
+
+val pp : Format.formatter -> attr -> unit

@@ -1,0 +1,20 @@
+type attr = int
+
+let max_hops = 15
+let compare = Int.compare
+let pp = Format.pp_print_int
+
+let make graph ~dest =
+  {
+    Srp.graph;
+    dest;
+    init = 0;
+    compare;
+    trans =
+      (fun _u _v a ->
+        match a with
+        | None -> None
+        | Some h -> if h >= max_hops then None else Some (h + 1));
+    attr_equal = Int.equal;
+    pp_attr = pp;
+  }

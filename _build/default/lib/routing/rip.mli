@@ -1,0 +1,12 @@
+(** RIP (distance vector, paper §3.2): attributes are hop counts in
+    [0 .. 15]; shorter is preferred; the transfer function increments and
+    drops routes that exceed the hop limit. *)
+
+type attr = int
+
+val max_hops : int
+(** 15: RIP treats 16 as infinity. *)
+
+val compare : attr -> attr -> int
+val make : Graph.t -> dest:int -> attr Srp.t
+val pp : Format.formatter -> attr -> unit

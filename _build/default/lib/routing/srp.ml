@@ -1,0 +1,21 @@
+type 'a t = {
+  graph : Graph.t;
+  dest : int;
+  init : 'a;
+  compare : 'a -> 'a -> int;
+  trans : int -> int -> 'a option -> 'a option;
+  attr_equal : 'a -> 'a -> bool;
+  pp_attr : Format.formatter -> 'a -> unit;
+}
+
+let non_spontaneous t =
+  let ok = ref true in
+  Graph.iter_edges t.graph (fun u v ->
+      match t.trans u v None with Some _ -> ok := false | None -> ());
+  !ok
+
+let pp_label t ppf = function
+  | None -> Format.pp_print_string ppf "⊥"
+  | Some a -> t.pp_attr ppf a
+
+let map_graph t graph ~dest = { t with graph; dest }

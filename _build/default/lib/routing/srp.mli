@@ -1,0 +1,44 @@
+(** The Stable Routing Problem (paper §3).
+
+    An SRP instance is a tuple [(G, A, a_d, ≺, trans)]: a topology with a
+    destination, a set of routing-message attributes, the initial attribute
+    announced by the destination, a comparison relation on attributes, and a
+    transfer function describing how attributes change (or are dropped)
+    across edges.
+
+    This module represents an SRP generically over the attribute type ['a].
+    The comparison relation is given as a total preorder [compare]
+    (our protocols — RIP, OSPF, BGP, static — all order attributes
+    totally up to ties; [compare a b < 0] means [a ≺ b], i.e. [a] is
+    preferred, and [compare a b = 0] is the paper's [a ≈ b]).
+
+    The transfer function receives the edge as the pair [(u, v)] where [u]
+    is the {e receiving} node and [v] the neighbor across the edge, matching
+    the paper's [choices_L(u) = {(e, a) | e = (u,v), a = trans(e, L(v))}].
+    [None] is the absent attribute [⊥]. *)
+
+type 'a t = {
+  graph : Graph.t;
+  dest : int;
+  init : 'a;  (** [a_d], the attribute at the destination. *)
+  compare : 'a -> 'a -> int;
+      (** Total preorder; negative means the first argument is preferred. *)
+  trans : int -> int -> 'a option -> 'a option;
+      (** [trans u v a]: attribute received at [u] from neighbor [v] whose
+          label is [a]. *)
+  attr_equal : 'a -> 'a -> bool;
+      (** Structural equality on attributes (used for fixpoint detection;
+          usually [Stdlib.( = )]). *)
+  pp_attr : Format.formatter -> 'a -> unit;
+}
+
+val non_spontaneous : 'a t -> bool
+(** Checks [trans e ⊥ = ⊥] on every edge (a {e well-formed} SRP property;
+    static routing deliberately violates it, paper §3.2). *)
+
+val pp_label : 'a t -> Format.formatter -> 'a option -> unit
+(** Prints an attribute or [⊥]. *)
+
+val map_graph : 'a t -> Graph.t -> dest:int -> 'a t
+(** Replace the topology and destination, keeping the protocol parts.
+    The transfer function must make sense on the new graph. *)

@@ -1,0 +1,21 @@
+type attr = unit
+
+let pp ppf () = Format.pp_print_string ppf "static"
+
+let make graph ~dest ~routes =
+  let set = Hashtbl.create (List.length routes) in
+  List.iter
+    (fun (u, v) ->
+      if not (Graph.has_edge graph u v) then
+        invalid_arg "Static_route.make: route along a missing edge";
+      Hashtbl.replace set (u, v) ())
+    routes;
+  {
+    Srp.graph;
+    dest;
+    init = ();
+    compare = (fun () () -> 0);
+    trans = (fun u v _a -> if Hashtbl.mem set (u, v) then Some () else None);
+    attr_equal = (fun () () -> true);
+    pp_attr = pp;
+  }

@@ -1,0 +1,14 @@
+(** Static routing (paper §3.2, Figure 6): the attribute set is the single
+    value [true] marking the presence of a static route; the comparison
+    relation is empty; the transfer function ignores the neighbor's label —
+    it yields a route exactly on edges carrying a configured static route
+    (so this SRP is deliberately {e spontaneous}, and can express loops). *)
+
+type attr = unit
+
+val make : Graph.t -> dest:int -> routes:(int * int) list -> attr Srp.t
+(** [routes] lists directed edges [(u, v)]: node [u] has a static route for
+    the destination pointing out the interface to [v]. Edges not in the
+    graph are rejected. *)
+
+val pp : Format.formatter -> attr -> unit

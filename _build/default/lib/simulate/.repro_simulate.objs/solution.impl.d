@@ -1,0 +1,1 @@
+lib/simulate/solution.ml: Array Format Graph List Srp

@@ -1,0 +1,1 @@
+lib/simulate/solution.mli: Format Srp

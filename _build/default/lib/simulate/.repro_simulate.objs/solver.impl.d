@@ -1,0 +1,1 @@
+lib/simulate/solver.ml: Array Fun Graph List Queue Random Solution Srp

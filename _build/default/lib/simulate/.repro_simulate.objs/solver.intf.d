@@ -1,0 +1,1 @@
+lib/simulate/solver.mli: Solution Srp

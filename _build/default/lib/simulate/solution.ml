@@ -1,0 +1,105 @@
+type 'a t = { srp : 'a Srp.t; labels : 'a option array }
+
+let label s u = s.labels.(u)
+
+let choices s u =
+  let srp = s.srp in
+  Array.to_list (Graph.succ srp.Srp.graph u)
+  |> List.filter_map (fun v ->
+         match srp.Srp.trans u v s.labels.(v) with
+         | Some a -> Some ((u, v), a)
+         | None -> None)
+
+let node_violation s u =
+  let srp = s.srp in
+  if u = srp.Srp.dest then
+    match s.labels.(u) with
+    | Some a when srp.Srp.attr_equal a srp.Srp.init -> None
+    | _ -> Some "destination is not labeled with the initial attribute"
+  else
+    let cs = choices s u in
+    match (s.labels.(u), cs) with
+    | None, [] -> None
+    | Some _, [] -> Some "labeled but has no choices"
+    | None, _ :: _ -> Some "unlabeled but has choices"
+    | Some a, _ :: _ ->
+      if not (List.exists (fun (_, c) -> srp.Srp.attr_equal c a) cs) then
+        Some "label is not an offered attribute"
+      else if List.exists (fun (_, c) -> srp.Srp.compare c a < 0) cs then
+        Some "a strictly better choice exists"
+      else None
+
+let stability_violations s =
+  let n = Graph.n_nodes s.srp.Srp.graph in
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    match node_violation s u with
+    | Some why -> acc := (u, why) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let is_stable s = stability_violations s = []
+
+let fwd s u =
+  match s.labels.(u) with
+  | None -> []
+  | Some a ->
+    choices s u
+    |> List.filter_map (fun (e, c) ->
+           if s.srp.Srp.compare c a = 0 then Some e else None)
+
+let fwd_edges s =
+  let n = Graph.n_nodes s.srp.Srp.graph in
+  let acc = ref [] in
+  for u = n - 1 downto 0 do
+    acc := fwd s u @ !acc
+  done;
+  List.sort compare !acc
+
+let forwarding_paths s ~src ~max_len =
+  let dest = s.srp.Srp.dest in
+  let rec go u path_rev seen len =
+    if u = dest then [ List.rev (u :: path_rev) ]
+    else if List.mem u seen then [ List.rev (u :: path_rev) ]
+    else if len >= max_len then [ List.rev (u :: path_rev) ]
+    else
+      match fwd s u with
+      | [] -> [ List.rev (u :: path_rev) ]
+      | nexts ->
+        List.concat_map
+          (fun (_, v) -> go v (u :: path_rev) (u :: seen) (len + 1))
+          nexts
+  in
+  go src [] [] 0
+
+let reaches s u =
+  let dest = s.srp.Srp.dest in
+  let n = Graph.n_nodes s.srp.Srp.graph in
+  (* 0 = unvisited, 1 = on stack, 2 = good, 3 = bad *)
+  let state = Array.make n 0 in
+  let rec good u =
+    if u = dest then true
+    else
+      match state.(u) with
+      | 1 -> false (* cycle *)
+      | 2 -> true
+      | 3 -> false
+      | _ ->
+        state.(u) <- 1;
+        let nexts = fwd s u in
+        let ok = nexts <> [] && List.for_all (fun (_, v) -> good v) nexts in
+        state.(u) <- (if ok then 2 else 3);
+        ok
+  in
+  good u
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun u l ->
+      Format.fprintf ppf "%s: %a@,"
+        (Graph.name s.srp.Srp.graph u)
+        (Srp.pp_label s.srp) l)
+    s.labels;
+  Format.fprintf ppf "@]"

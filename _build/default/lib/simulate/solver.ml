@@ -1,0 +1,174 @@
+type stats = { steps : int; updates : int }
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let solve ?(seed = 0) ?max_steps (srp : 'a Srp.t) =
+  let g = srp.Srp.graph in
+  let n = Graph.n_nodes g in
+  let max_steps =
+    match max_steps with Some m -> m | None -> 64 * n * (n + 1)
+  in
+  let rng = Random.State.make [| seed; 0x50f7 |] in
+  let labels : 'a option array = Array.make n None in
+  if n > 0 then labels.(srp.Srp.dest) <- Some srp.Srp.init;
+  (* Per-node neighbor order decides tie-breaking among equally good
+     choices; a seeded shuffle explores different stable solutions. *)
+  let nbr_order =
+    Array.init n (fun u ->
+        let a = Array.copy (Graph.succ g u) in
+        if seed <> 0 then shuffle rng a;
+        a)
+  in
+  let best u =
+    let best = ref None in
+    Array.iter
+      (fun v ->
+        match srp.Srp.trans u v labels.(v) with
+        | None -> ()
+        | Some a -> (
+          match !best with
+          | None -> best := Some a
+          | Some b -> if srp.Srp.compare a b < 0 then best := Some a))
+      nbr_order.(u);
+    !best
+  in
+  let in_queue = Array.make n false in
+  let queue = Queue.create () in
+  let push u =
+    if u <> srp.Srp.dest && not in_queue.(u) then begin
+      in_queue.(u) <- true;
+      Queue.add u queue
+    end
+  in
+  let initial = Array.init n Fun.id in
+  if seed <> 0 then shuffle rng initial;
+  Array.iter push initial;
+  let steps = ref 0 and updates = ref 0 in
+  let budget_ok = ref true in
+  while !budget_ok && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    in_queue.(u) <- false;
+    incr steps;
+    if !steps > max_steps then budget_ok := false
+    else begin
+      let b = best u in
+      let same =
+        match (labels.(u), b) with
+        | None, None -> true
+        | Some a, Some b -> srp.Srp.attr_equal a b
+        | _ -> false
+      in
+      if not same then begin
+        labels.(u) <- b;
+        incr updates;
+        (* Nodes whose choices mention u must re-evaluate. *)
+        Array.iter push (Graph.pred g u)
+      end
+    end
+  done;
+  let sol = { Solution.srp; labels } in
+  if !budget_ok && Solution.is_stable sol then
+    Ok (sol, { steps = !steps; updates = !updates })
+  else Error (`Diverged sol)
+
+let solve_exn ?seed ?max_steps srp =
+  match solve ?seed ?max_steps srp with
+  | Ok (s, _) -> s
+  | Error (`Diverged _) -> failwith "Solver.solve_exn: no stable solution found"
+
+let solutions_sample ?(tries = 16) srp =
+  let found = ref [] in
+  for seed = 0 to tries - 1 do
+    match solve ~seed srp with
+    | Ok (s, _) ->
+      if
+        not
+          (List.exists
+             (fun s' -> s'.Solution.labels = s.Solution.labels)
+             !found)
+      then found := s :: !found
+    | Error _ -> ()
+  done;
+  List.rev !found
+
+let enumerate_solutions ?(max_nodes = 12) (srp : 'a Srp.t) =
+  let g = srp.Srp.graph in
+  let n = Graph.n_nodes g in
+  if n > max_nodes then
+    invalid_arg "Solver.enumerate_solutions: network too large";
+  let dest = srp.Srp.dest in
+  (* choice.(u) = Some v: u takes its route from v; None: no route *)
+  let choice = Array.make n None in
+  let found = ref [] in
+  let labels_of_choice () =
+    (* Follow each node's selection to the destination, failing on cycles
+       or dropped transfers. *)
+    let labels = Array.make n None in
+    if n > 0 then labels.(dest) <- Some srp.Srp.init;
+    let state = Array.make n 0 (* 0 unvisited, 1 in progress, 2 done *) in
+    let exception Bad in
+    let rec resolve u =
+      if u = dest then labels.(u)
+      else
+        match state.(u) with
+        | 1 -> raise Bad (* cycle among selections *)
+        | 2 -> labels.(u)
+        | _ -> (
+          state.(u) <- 1;
+          let l =
+            match choice.(u) with
+            | None -> None
+            | Some v -> (
+              match srp.Srp.trans u v (resolve v) with
+              | Some a -> Some a
+              | None -> raise Bad (* selected a dropped route *))
+          in
+          state.(u) <- 2;
+          labels.(u) <- l;
+          l)
+    in
+    match
+      for u = 0 to n - 1 do
+        ignore (resolve u)
+      done
+    with
+    | () -> Some labels
+    | exception Bad -> None
+  in
+  let record () =
+    match labels_of_choice () with
+    | None -> ()
+    | Some labels ->
+      let sol = { Solution.srp; labels } in
+      if
+        Solution.is_stable sol
+        && not
+             (List.exists
+                (fun s -> s.Solution.labels = labels)
+                !found)
+      then found := sol :: !found
+  in
+  let rec go u =
+    if u >= n then record ()
+    else if u = dest then go (u + 1)
+    else begin
+      choice.(u) <- None;
+      go (u + 1);
+      Array.iter
+        (fun v ->
+          choice.(u) <- Some v;
+          go (u + 1))
+        (Graph.succ g u);
+      choice.(u) <- None
+    end
+  in
+  (* Static-style spontaneous transfers mean even "no route" nodes need a
+     try; the stability filter sorts everything out. *)
+  if n > 0 then go 0;
+  List.rev !found

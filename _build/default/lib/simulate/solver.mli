@@ -1,0 +1,41 @@
+(** Computing stable solutions of an SRP by simulating asynchronous message
+    processing.
+
+    The solver repeatedly activates nodes from a worklist; an activated
+    node recomputes its best choice from its neighbors' current labels.
+    When the worklist drains, the labeling is locally stable by
+    construction. Which of the (possibly multiple, paper §3.1) solutions
+    is found depends on the activation order and on how ties are broken,
+    both of which can be seeded — this emulates the message-arrival timing
+    that selects solutions in a real network (paper Figure 2). For
+    divergent instances (e.g. BGP gadgets with no stable solution), the
+    step budget runs out and the solver reports failure. *)
+
+type stats = { steps : int; updates : int }
+
+val solve :
+  ?seed:int ->
+  ?max_steps:int ->
+  'a Srp.t ->
+  ('a Solution.t * stats, [ `Diverged of 'a Solution.t ]) result
+(** [solve srp] computes a stable solution. [seed] permutes the activation
+    order and neighbor tie-breaking (default 0: deterministic first-best).
+    [max_steps] bounds node activations (default [64 * n * (n + 1)]).
+    On [Error (`Diverged s)], [s] is the (unstable) labeling when the
+    budget ran out. *)
+
+val solve_exn : ?seed:int -> ?max_steps:int -> 'a Srp.t -> 'a Solution.t
+(** @raise Failure when the solver diverges. *)
+
+val solutions_sample : ?tries:int -> 'a Srp.t -> 'a Solution.t list
+(** Solve under several seeds and keep the distinct stable solutions
+    found (compared by labels). Used to explore multi-solution SRPs like
+    the paper's Figure 2 gadget. *)
+
+val enumerate_solutions : ?max_nodes:int -> 'a Srp.t -> 'a Solution.t list
+(** All stable solutions of a {e small} SRP, by exhaustive search over the
+    per-node route choices (each node selects one neighbor or no route;
+    labels follow from the selection when it is acyclic; the stability
+    check filters the rest). Exponential — guarded by [max_nodes]
+    (default 12).
+    @raise Invalid_argument if the network is larger than [max_nodes]. *)

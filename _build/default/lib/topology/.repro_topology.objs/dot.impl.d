@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Array Buffer Fun Graph List Printf

@@ -1,0 +1,217 @@
+type fattree = {
+  ft_graph : Graph.t;
+  ft_k : int;
+  ft_core : int array;
+  ft_agg : int array;
+  ft_edge : int array;
+  ft_pod : int array;
+}
+
+let fattree ~k =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Generators.fattree: k must be even, >= 2";
+  let h = k / 2 in
+  let b = Graph.Builder.create () in
+  let core = Array.init (h * h) (fun i -> Graph.Builder.add_node b (Printf.sprintf "core%d" i)) in
+  let agg = Array.make (k * h) 0 in
+  let edge = Array.make (k * h) 0 in
+  for p = 0 to k - 1 do
+    for j = 0 to h - 1 do
+      agg.((p * h) + j) <- Graph.Builder.add_node b (Printf.sprintf "agg%d_%d" p j)
+    done;
+    for j = 0 to h - 1 do
+      edge.((p * h) + j) <- Graph.Builder.add_node b (Printf.sprintf "edge%d_%d" p j)
+    done
+  done;
+  for p = 0 to k - 1 do
+    (* complete bipartite edge-agg inside the pod *)
+    for i = 0 to h - 1 do
+      for j = 0 to h - 1 do
+        Graph.Builder.add_link b edge.((p * h) + i) agg.((p * h) + j)
+      done
+    done;
+    (* aggregation j of each pod connects to core group j *)
+    for j = 0 to h - 1 do
+      for i = 0 to h - 1 do
+        Graph.Builder.add_link b agg.((p * h) + j) core.((j * h) + i)
+      done
+    done
+  done;
+  let g = Graph.Builder.build b in
+  let pod = Array.make (Graph.n_nodes g) (-1) in
+  Array.iteri (fun i v -> pod.(v) <- i / h) agg;
+  Array.iteri (fun i v -> pod.(v) <- i / h) edge;
+  { ft_graph = g; ft_k = k; ft_core = core; ft_agg = agg; ft_edge = edge; ft_pod = pod }
+
+let ring ~n =
+  if n < 3 then invalid_arg "Generators.ring: n >= 3 required";
+  Graph.of_links ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let full_mesh ~n =
+  if n < 2 then invalid_arg "Generators.full_mesh: n >= 2 required";
+  let links = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      links := (i, j) :: !links
+    done
+  done;
+  Graph.of_links ~n !links
+
+type datacenter = {
+  dc_graph : Graph.t;
+  dc_leaves : int array;
+  dc_spines : int array;
+  dc_cores : int array;
+  dc_cluster : int array;
+}
+
+let datacenter ?leaf_counts ~clusters ~leaves ~spines ~cores () =
+  if clusters < 1 || leaves < 1 || spines < 1 || cores < 1 then
+    invalid_arg "Generators.datacenter: all sizes must be positive";
+  let leaf_counts =
+    match leaf_counts with
+    | None -> Array.make clusters leaves
+    | Some l ->
+      if List.length l <> clusters then
+        invalid_arg "Generators.datacenter: leaf_counts length mismatch";
+      Array.of_list l
+  in
+  let total_leaves = Array.fold_left ( + ) 0 leaf_counts in
+  let b = Graph.Builder.create () in
+  let dc_cores =
+    Array.init cores (fun i -> Graph.Builder.add_node b (Printf.sprintf "core%d" i))
+  in
+  let dc_leaves = Array.make total_leaves 0 in
+  let dc_spines = Array.make (clusters * spines) 0 in
+  let leaf_cluster = Array.make total_leaves 0 in
+  let li = ref 0 in
+  for c = 0 to clusters - 1 do
+    for i = 0 to spines - 1 do
+      dc_spines.((c * spines) + i) <-
+        Graph.Builder.add_node b (Printf.sprintf "spine%d_%d" c i)
+    done;
+    let first_leaf = !li in
+    for i = 0 to leaf_counts.(c) - 1 do
+      dc_leaves.(!li) <- Graph.Builder.add_node b (Printf.sprintf "leaf%d_%d" c i);
+      leaf_cluster.(!li) <- c;
+      incr li
+    done;
+    for i = first_leaf to !li - 1 do
+      for j = 0 to spines - 1 do
+        Graph.Builder.add_link b dc_leaves.(i) dc_spines.((c * spines) + j)
+      done
+    done;
+    for j = 0 to spines - 1 do
+      Array.iter
+        (fun core -> Graph.Builder.add_link b dc_spines.((c * spines) + j) core)
+        dc_cores
+    done
+  done;
+  let g = Graph.Builder.build b in
+  let cluster = Array.make (Graph.n_nodes g) (-1) in
+  Array.iteri (fun i v -> cluster.(v) <- leaf_cluster.(i)) dc_leaves;
+  Array.iteri (fun i v -> cluster.(v) <- i / spines) dc_spines;
+  { dc_graph = g; dc_leaves; dc_spines; dc_cores; dc_cluster = cluster }
+
+type wan = {
+  wan_graph : Graph.t;
+  wan_backbone : int array;
+  wan_pop_routers : int array;
+  wan_pop : int array;
+}
+
+let wan ?(extra = 0) ~pops ~pop_size ~seed () =
+  if pops < 3 || pop_size < 1 then
+    invalid_arg "Generators.wan: pops >= 3 and pop_size >= 1 required";
+  let rng = Random.State.make [| seed; 0x57a4 |] in
+  let b = Graph.Builder.create () in
+  (* Two backbone routers per PoP attachment, arranged in a ring of pairs
+     with a few chords. *)
+  let backbone =
+    Array.init (2 * pops) (fun i -> Graph.Builder.add_node b (Printf.sprintf "bb%d" i))
+  in
+  for p = 0 to pops - 1 do
+    Graph.Builder.add_link b backbone.(2 * p) backbone.((2 * p) + 1);
+    let q = (p + 1) mod pops in
+    Graph.Builder.add_link b backbone.(2 * p) backbone.(2 * q);
+    Graph.Builder.add_link b backbone.((2 * p) + 1) backbone.((2 * q) + 1)
+  done;
+  (* chords across the ring for path diversity *)
+  let n_chords = max 1 (pops / 4) in
+  for _ = 1 to n_chords do
+    let p = Random.State.int rng pops and q = Random.State.int rng pops in
+    if p <> q && (p + 1) mod pops <> q && (q + 1) mod pops <> p then
+      Graph.Builder.add_link b backbone.(2 * p) backbone.(2 * q)
+  done;
+  (* Each PoP: a two-level access tree hanging off both backbone routers. *)
+  let pop_routers = Array.make (pops * pop_size) 0 in
+  for p = 0 to pops - 1 do
+    let aggs = max 1 (pop_size / 8) in
+    for i = 0 to pop_size - 1 do
+      pop_routers.((p * pop_size) + i) <-
+        Graph.Builder.add_node b (Printf.sprintf "pop%d_r%d" p i)
+    done;
+    for i = 0 to pop_size - 1 do
+      let v = pop_routers.((p * pop_size) + i) in
+      if i < aggs then begin
+        (* aggregation routers dual-home to the backbone pair *)
+        Graph.Builder.add_link b v backbone.(2 * p);
+        Graph.Builder.add_link b v backbone.((2 * p) + 1)
+      end
+      else begin
+        (* access routers dual-home to two aggregation routers *)
+        let a1 = i mod aggs in
+        let a2 = (i + 1) mod aggs in
+        Graph.Builder.add_link b v pop_routers.((p * pop_size) + a1);
+        if a2 <> a1 then Graph.Builder.add_link b v pop_routers.((p * pop_size) + a2)
+      end
+    done
+  done;
+  for i = 0 to extra - 1 do
+    let v = Graph.Builder.add_node b (Printf.sprintf "noc%d" i) in
+    Graph.Builder.add_link b v backbone.(0)
+  done;
+  let g = Graph.Builder.build b in
+  let pop = Array.make (Graph.n_nodes g) (-1) in
+  Array.iteri (fun i v -> pop.(v) <- i / pop_size) pop_routers;
+  { wan_graph = g; wan_backbone = backbone; wan_pop_routers = pop_routers; wan_pop = pop }
+
+let random_connected ~n ~extra ~seed =
+  if n < 1 then invalid_arg "Generators.random_connected: n >= 1 required";
+  let rng = Random.State.make [| seed; 0x3a11 |] in
+  let links = ref [] in
+  (* random spanning tree: attach node i to a uniformly random earlier node *)
+  for i = 1 to n - 1 do
+    links := (i, Random.State.int rng i) :: !links
+  done;
+  let have = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace have (min u v, max u v) ())
+    !links;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra && !attempts < extra * 20 do
+    incr attempts;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v && not (Hashtbl.mem have (min u v, max u v)) then begin
+      Hashtbl.replace have (min u v, max u v) ();
+      links := (u, v) :: !links;
+      incr added
+    end
+  done;
+  Graph.of_links ~n !links
+
+let star ~n =
+  if n < 2 then invalid_arg "Generators.star: n >= 2 required";
+  Graph.of_links ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid: positive dims required";
+  let id r c = (r * cols) + c in
+  let links = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then links := (id r c, id r (c + 1)) :: !links;
+      if r + 1 < rows then links := (id r c, id (r + 1) c) :: !links
+    done
+  done;
+  Graph.of_links ~n:(rows * cols) !links

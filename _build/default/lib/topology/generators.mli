@@ -1,0 +1,68 @@
+(** Topology generators for the paper's synthetic and "real" networks.
+
+    Each generator also returns enough structure (tiers, pods, clusters) for
+    the configuration synthesizer to assign per-role policies. *)
+
+type fattree = {
+  ft_graph : Graph.t;
+  ft_k : int;
+  ft_core : int array;
+  ft_agg : int array; (* aggregation tier, grouped by pod *)
+  ft_edge : int array; (* edge (ToR) tier, grouped by pod *)
+  ft_pod : int array; (* node -> pod id; -1 for core *)
+}
+
+val fattree : k:int -> fattree
+(** [fattree ~k] is the standard k-ary fattree [Al-Fares et al.]:
+    [(k/2)^2] core switches and [k] pods of [k/2] aggregation plus [k/2]
+    edge switches — [5k^2/4] nodes total (paper Table 1 uses k = 12, 20,
+    30 for 180, 500, 1125 nodes). @raise Invalid_argument if [k] is odd
+    or [< 2]. *)
+
+val ring : n:int -> Graph.t
+(** Cycle of [n >= 3] nodes. *)
+
+val full_mesh : n:int -> Graph.t
+(** Complete graph on [n >= 2] nodes. *)
+
+type datacenter = {
+  dc_graph : Graph.t;
+  dc_leaves : int array; (* grouped by cluster *)
+  dc_spines : int array; (* grouped by cluster *)
+  dc_cores : int array;
+  dc_cluster : int array; (* node -> cluster id; -1 for core *)
+}
+
+val datacenter :
+  ?leaf_counts:int list ->
+  clusters:int -> leaves:int -> spines:int -> cores:int -> unit -> datacenter
+(** Multiple Clos-like clusters joined by a core layer, mimicking the
+    paper's 197-router operational datacenter: each cluster is a complete
+    leaf-spine bipartite graph and every spine links to every core router.
+    [leaf_counts] gives per-cluster leaf counts (default: [leaves]
+    everywhere); heterogeneous clusters are what keep the real network's
+    abstraction from collapsing to a handful of nodes. *)
+
+type wan = {
+  wan_graph : Graph.t;
+  wan_backbone : int array;
+  wan_pop_routers : int array; (* grouped by pop *)
+  wan_pop : int array; (* node -> pop id; -1 for backbone *)
+}
+
+val wan : ?extra:int -> pops:int -> pop_size:int -> seed:int -> unit -> wan
+(** Wide-area network: a backbone ring with chords (two routers per PoP
+    attachment point) and a small access tree per PoP, mimicking the
+    paper's 1086-device WAN. [extra] standalone routers (default 0) attach
+    to the first backbone router (e.g. a NOC), letting callers hit an exact
+    device count. Deterministic in [seed]. *)
+
+val random_connected : n:int -> extra:int -> seed:int -> Graph.t
+(** Random connected graph: a uniform random spanning tree plus [extra]
+    random non-parallel links. Deterministic in [seed]. Used by the
+    property-based tests. *)
+
+val star : n:int -> Graph.t
+(** One hub (node 0) linked to [n - 1] spokes. *)
+
+val grid : rows:int -> cols:int -> Graph.t

@@ -1,0 +1,138 @@
+type t = {
+  names : string array;
+  succ : int array array;
+  pred : int array array;
+  edge_set : (int * int, unit) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+  n_edges : int;
+}
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    mutable b_names : string list; (* reversed *)
+    mutable b_n : int;
+    b_edges : (int * int, unit) Hashtbl.t;
+  }
+
+  let create () = { b_names = []; b_n = 0; b_edges = Hashtbl.create 64 }
+
+  let add_node b name =
+    let id = b.b_n in
+    b.b_names <- name :: b.b_names;
+    b.b_n <- id + 1;
+    id
+
+  let add_edge b u v =
+    if u = v then invalid_arg "Graph.Builder.add_edge: self-loop";
+    if u < 0 || u >= b.b_n || v < 0 || v >= b.b_n then
+      invalid_arg "Graph.Builder.add_edge: unknown endpoint";
+    Hashtbl.replace b.b_edges (u, v) ()
+
+  let add_link b u v =
+    add_edge b u v;
+    add_edge b v u
+
+  let build b : graph =
+    let n = b.b_n in
+    let names = Array.of_list (List.rev b.b_names) in
+    let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+    Hashtbl.iter
+      (fun (u, v) () ->
+        out_deg.(u) <- out_deg.(u) + 1;
+        in_deg.(v) <- in_deg.(v) + 1)
+      b.b_edges;
+    let succ = Array.init n (fun u -> Array.make out_deg.(u) 0) in
+    let pred = Array.init n (fun v -> Array.make in_deg.(v) 0) in
+    let oi = Array.make n 0 and ii = Array.make n 0 in
+    Hashtbl.iter
+      (fun (u, v) () ->
+        succ.(u).(oi.(u)) <- v;
+        oi.(u) <- oi.(u) + 1;
+        pred.(v).(ii.(v)) <- u;
+        ii.(v) <- ii.(v) + 1)
+      b.b_edges;
+    Array.iter (fun a -> Array.sort compare a) succ;
+    Array.iter (fun a -> Array.sort compare a) pred;
+    let by_name = Hashtbl.create n in
+    Array.iteri (fun i s -> Hashtbl.replace by_name s i) names;
+    {
+      names;
+      succ;
+      pred;
+      edge_set = Hashtbl.copy b.b_edges;
+      by_name;
+      n_edges = Hashtbl.length b.b_edges;
+    }
+end
+
+let of_links ~n links =
+  let b = Builder.create () in
+  for i = 0 to n - 1 do
+    ignore (Builder.add_node b (Printf.sprintf "n%d" i))
+  done;
+  List.iter (fun (u, v) -> Builder.add_link b u v) links;
+  Builder.build b
+
+let n_nodes g = Array.length g.names
+let n_edges g = g.n_edges
+
+let n_links g =
+  let count = ref 0 in
+  Hashtbl.iter
+    (fun (u, v) () ->
+      if u < v || not (Hashtbl.mem g.edge_set (v, u)) then incr count)
+    g.edge_set;
+  !count
+
+let name g i = g.names.(i)
+let find_by_name g s = Hashtbl.find_opt g.by_name s
+let succ g i = g.succ.(i)
+let pred g i = g.pred.(i)
+let has_edge g u v = Hashtbl.mem g.edge_set (u, v)
+
+let edges g =
+  Hashtbl.fold (fun e () acc -> e :: acc) g.edge_set [] |> List.sort compare
+
+let iter_edges g f =
+  List.iter (fun (u, v) -> f u v) (edges g)
+
+let fold_nodes g ~init ~f =
+  let acc = ref init in
+  for i = 0 to n_nodes g - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+let degree g i = Array.length g.succ.(i)
+
+let is_connected g =
+  let n = n_nodes g in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    let visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        stack := v :: !stack
+      end
+    in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+        stack := rest;
+        Array.iter visit g.succ.(u);
+        Array.iter visit g.pred.(u);
+        loop ()
+    in
+    loop ();
+    Array.for_all Fun.id seen
+  end
+
+let pp_stats ppf g =
+  Format.fprintf ppf "nodes=%d directed-edges=%d links=%d" (n_nodes g)
+    (n_edges g) (n_links g)

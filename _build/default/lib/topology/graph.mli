@@ -1,0 +1,65 @@
+(** Directed graphs over dense integer node ids.
+
+    The SRP model (paper §3) works over a graph [G = (V, E, d)] with
+    directed edges; links of real networks are represented as a pair of
+    directed edges. Nodes carry a name used for reporting and DOT output. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_node : t -> string -> int
+  (** Returns the fresh node's id (dense, starting at 0). *)
+
+  val add_edge : t -> int -> int -> unit
+  (** Directed edge. Duplicate edges are ignored; self-loops are rejected
+      ({e well-formed} SRPs are self-loop-free, paper §3.1).
+      @raise Invalid_argument on a self-loop or unknown endpoint. *)
+
+  val add_link : t -> int -> int -> unit
+  (** Undirected link: both directed edges. *)
+
+  val build : t -> graph
+end
+
+val of_links : n:int -> (int * int) list -> t
+(** [of_links ~n links] builds a graph with nodes [0 .. n-1] named
+    ["n<i>"] and an undirected link per pair. *)
+
+(** {1 Access} *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+(** Number of directed edges. *)
+
+val n_links : t -> int
+(** Number of undirected links (pairs [{u,v}] with both directions
+    present); one-way edges count as a link too. *)
+
+val name : t -> int -> string
+val find_by_name : t -> string -> int option
+val succ : t -> int -> int array
+(** Out-neighbors, ascending. Do not mutate. *)
+
+val pred : t -> int -> int array
+val has_edge : t -> int -> int -> bool
+val edges : t -> (int * int) list
+(** All directed edges, lexicographic order. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val degree : t -> int -> int
+(** Out-degree. *)
+
+val is_connected : t -> bool
+(** Weak connectivity (treating edges as undirected). Vacuously true for
+    the empty graph. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/union_split_find.ml: Array Format Fun Hashtbl List

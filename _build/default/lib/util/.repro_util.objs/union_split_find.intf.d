@@ -1,0 +1,1 @@
+lib/util/union_split_find.mli: Format

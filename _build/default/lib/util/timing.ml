@@ -1,0 +1,8 @@
+let now = Unix.gettimeofday
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let time_ignore f = snd (time f)

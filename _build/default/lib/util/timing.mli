@@ -1,0 +1,10 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val now : unit -> float
+(** Monotonic-enough wall-clock time in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val time_ignore : (unit -> 'a) -> float
+(** [time_ignore f] is the elapsed seconds of [f ()], discarding the result. *)

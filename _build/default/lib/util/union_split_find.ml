@@ -1,0 +1,135 @@
+type t = {
+  n : int;
+  cls : int array; (* element -> class id *)
+  member_lists : (int, int list) Hashtbl.t; (* class id -> members, sorted *)
+  mutable next_id : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Union_split_find.create: negative size";
+  let member_lists = Hashtbl.create 16 in
+  if n > 0 then Hashtbl.replace member_lists 0 (List.init n Fun.id);
+  { n; cls = Array.make (max n 1) 0; member_lists; next_id = 1 }
+
+let length t = t.n
+
+let num_classes t = Hashtbl.length t.member_lists
+
+let check_elt t x =
+  if x < 0 || x >= t.n then invalid_arg "Union_split_find: element out of range"
+
+let find t x =
+  check_elt t x;
+  t.cls.(x)
+
+let members t c =
+  match Hashtbl.find_opt t.member_lists c with
+  | Some ms -> ms
+  | None -> invalid_arg "Union_split_find: dead class id"
+
+let class_size t c = List.length (members t c)
+
+let class_ids t =
+  Hashtbl.fold (fun c _ acc -> c :: acc) t.member_lists [] |> List.sort compare
+
+let split t xs =
+  match xs with
+  | [] -> invalid_arg "Union_split_find.split: empty subset"
+  | x0 :: _ ->
+    let c = find t x0 in
+    let seen = Hashtbl.create (List.length xs) in
+    List.iter
+      (fun x ->
+        check_elt t x;
+        if t.cls.(x) <> c then
+          invalid_arg "Union_split_find.split: elements span several classes";
+        if Hashtbl.mem seen x then
+          invalid_arg "Union_split_find.split: duplicate element";
+        Hashtbl.replace seen x ())
+      xs;
+    let old_members = members t c in
+    let k = Hashtbl.length seen in
+    if k = List.length old_members then c
+    else begin
+      let fresh = t.next_id in
+      t.next_id <- fresh + 1;
+      List.iter (fun x -> t.cls.(x) <- fresh) xs;
+      let moved, kept = List.partition (fun x -> Hashtbl.mem seen x) old_members in
+      Hashtbl.replace t.member_lists c kept;
+      Hashtbl.replace t.member_lists fresh moved;
+      fresh
+    end
+
+let refine t ~cls ~key =
+  match members t cls with
+  | [] | [ _ ] -> []
+  | ms ->
+    let groups : ('k, int list) Hashtbl.t = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun x ->
+        let k = key x in
+        match Hashtbl.find_opt groups k with
+        | None ->
+          order := k :: !order;
+          Hashtbl.replace groups k [ x ]
+        | Some xs -> Hashtbl.replace groups k (x :: xs))
+      ms;
+    let order = List.rev !order in
+    if List.length order <= 1 then []
+    else begin
+      (* The largest group keeps the original class id: split out the rest. *)
+      let groups_l =
+        List.map (fun k -> List.rev (Hashtbl.find groups k)) order
+      in
+      let largest =
+        List.fold_left
+          (fun best g ->
+            match best with
+            | None -> Some g
+            | Some b -> if List.length g > List.length b then Some g else best)
+          None groups_l
+      in
+      let largest = match largest with Some g -> g | None -> assert false in
+      List.filter_map
+        (fun g -> if g != largest then Some (split t g) else None)
+        groups_l
+    end
+
+let refine_all t ~key =
+  let changed = ref false in
+  List.iter
+    (fun c -> if refine t ~cls:c ~key <> [] then changed := true)
+    (class_ids t);
+  !changed
+
+let iter_classes t f =
+  List.iter (fun c -> f c (members t c)) (class_ids t)
+
+let to_class_array t = Array.sub t.cls 0 t.n
+
+let canonical t =
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.init t.n (fun x ->
+      let c = t.cls.(x) in
+      match Hashtbl.find_opt remap c with
+      | Some i -> i
+      | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.replace remap c i;
+        i)
+
+let equal a b = a.n = b.n && canonical a = canonical b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  iter_classes t (fun c ms ->
+      Format.fprintf ppf "%d: {%a}@,"
+        c
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_int)
+        ms);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,69 @@
+(** Union-split-find: a partition of the integers [0 .. n-1] supporting
+    iterated refinement, as used by the Bonsai abstraction algorithm
+    (paper Algorithm 1).
+
+    Unlike classical union-find, the characteristic operation is {e split}:
+    carving a subset of an existing class out into a fresh class. Classes
+    are identified by small integer ids that remain stable until the class
+    is split. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the coarsest partition of [0 .. n-1]: a single class
+    containing every element. [n] must be non-negative; [n = 0] gives an
+    empty partition. *)
+
+val length : t -> int
+(** Number of elements (the [n] given to {!create}). *)
+
+val num_classes : t -> int
+
+val find : t -> int -> int
+(** [find t x] is the id of the class currently containing [x].
+    @raise Invalid_argument if [x] is out of range. *)
+
+val members : t -> int -> int list
+(** [members t c] lists the elements of class [c] in increasing order.
+    @raise Invalid_argument if [c] is not a live class id. *)
+
+val class_size : t -> int -> int
+
+val class_ids : t -> int list
+(** Ids of all live classes, in increasing order. *)
+
+val split : t -> int list -> int
+(** [split t xs] moves the elements [xs] into a fresh class and returns its
+    id. All elements must currently belong to the {e same} class, and [xs]
+    must be a non-empty strict subset of that class (splitting a whole class
+    is a no-op and returns the existing id).
+    @raise Invalid_argument if elements span several classes or are
+    duplicated. *)
+
+val refine : t -> cls:int -> key:(int -> 'k) -> int list
+(** [refine t ~cls ~key] groups the members of class [cls] by [key] (using
+    polymorphic equality/hashing on the key) and splits the class so each
+    group becomes its own class. The largest group keeps the original id.
+    Returns the ids of the freshly created classes ([[]] if no split
+    happened). *)
+
+val refine_all : t -> key:(int -> 'k) -> bool
+(** [refine_all t ~key] applies {!refine} to every live class; returns
+    [true] if any class was split. *)
+
+val iter_classes : t -> (int -> int list -> unit) -> unit
+(** [iter_classes t f] calls [f class_id members] for each live class. *)
+
+val to_class_array : t -> int array
+(** [to_class_array t] is an array mapping each element to its class id. *)
+
+val canonical : t -> int array
+(** [canonical t] maps each element to a dense class index in
+    [0 .. num_classes - 1]; equal iff in the same class. Useful for
+    comparing partitions irrespective of id history. *)
+
+val equal : t -> t -> bool
+(** [equal a b] holds when the two partitions group elements identically
+    (ids are ignored). *)
+
+val pp : Format.formatter -> t -> unit

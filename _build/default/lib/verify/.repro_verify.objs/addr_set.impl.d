@@ -1,0 +1,1 @@
+lib/verify/addr_set.ml: Bdd Format Ipv4 List Prefix

@@ -1,0 +1,1 @@
+lib/verify/addr_set.mli: Format Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/verify/dataplane.ml: Addr_set Array Compile Device Ecs Graph List Option Prefix Prefix_trie Solution Solver

@@ -1,0 +1,1 @@
+lib/verify/dataplane.mli: Addr_set Device Ipv4 Prefix

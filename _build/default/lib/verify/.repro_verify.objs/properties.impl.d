@@ -1,0 +1,1 @@
+lib/verify/properties.ml: Array Graph List Solution Srp

@@ -1,0 +1,1 @@
+lib/verify/properties.mli: Solution

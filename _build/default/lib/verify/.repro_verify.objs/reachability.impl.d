@@ -1,0 +1,1 @@
+lib/verify/reachability.ml: Abstraction Bonsai_api Compile Device Ecs Graph List Option Policy_bdd Properties Solution Solver Srp Timing

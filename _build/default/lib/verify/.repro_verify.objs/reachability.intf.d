@@ -1,0 +1,1 @@
+lib/verify/reachability.mli: Device Ecs

@@ -1,0 +1,1 @@
+lib/verify/robust.ml: Graph List Solution Solver Srp

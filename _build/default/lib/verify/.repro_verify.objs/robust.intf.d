@@ -1,0 +1,1 @@
+lib/verify/robust.mli: Solution Srp

@@ -1,0 +1,65 @@
+(* One shared manager: address sets from different call sites stay
+   comparable by pointer. Variable i is bit i of the address counting from
+   the most significant, matching Prefix/Ipv4 bit order. *)
+let man = Bdd.man ()
+
+type t = Bdd.t
+
+let empty = Bdd.bot
+let full = Bdd.top
+
+let of_prefix (p : Prefix.t) =
+  let acc = ref Bdd.top in
+  for i = p.Prefix.len - 1 downto 0 do
+    let v = Bdd.var man i in
+    acc := Bdd.and_ man (if Prefix.bit p i then v else Bdd.not_ man v) !acc
+  done;
+  !acc
+
+let of_prefixes ps = List.fold_left (fun acc p -> Bdd.or_ man acc (of_prefix p)) empty ps
+
+let union = Bdd.or_ man
+let inter = Bdd.and_ man
+let diff a b = Bdd.and_ man a (Bdd.not_ man b)
+let complement = Bdd.not_ man
+let mem a t = Bdd.eval t (fun i -> Ipv4.bit a i)
+let is_empty = Bdd.is_bot
+let equal = Bdd.equal
+let count t = Bdd.sat_count t ~nvars:32
+
+let choose t =
+  match Bdd.any_sat t with
+  | exception Not_found -> None
+  | partial ->
+    let bits = ref 0 in
+    List.iter
+      (fun (i, b) -> if b then bits := !bits lor (1 lsl (31 - i)))
+      partial;
+    Some (Ipv4.of_int32_bits !bits)
+
+let to_prefixes t =
+  (* Walk the prefix tree, emitting a prefix whenever the remaining set is
+     full below this point. *)
+  let rec go t addr len acc =
+    if Bdd.is_bot t then acc
+    else if Bdd.is_top t then
+      Prefix.make (Ipv4.of_int32_bits addr) len :: acc
+    else if len >= 32 then Prefix.make (Ipv4.of_int32_bits addr) 32 :: acc
+    else begin
+      let lo = Bdd.restrict man t ~var:len false in
+      let hi = Bdd.restrict man t ~var:len true in
+      let acc = go lo addr (len + 1) acc in
+      go hi (addr lor (1 lsl (31 - len))) (len + 1) acc
+    end
+  in
+  go t 0 0 [] |> List.sort Prefix.compare
+
+let pp ppf t =
+  match to_prefixes t with
+  | [] -> Format.pp_print_string ppf "{}"
+  | ps ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Prefix.pp)
+      ps

@@ -1,0 +1,35 @@
+(** Sets of IPv4 addresses as BDDs over the 32 address bits.
+
+    This is the header-space flavor of analysis NoD performs for Batfish
+    (paper §8): "compute all possible packets that can traverse between
+    source and destination nodes". Address sets are closed under the usual
+    Boolean operations, membership is a 32-step walk, and counting is a
+    BDD satisfy-count.
+
+    All sets share one global manager, so {!equal} is pointer equality. *)
+
+type t
+
+val empty : t
+val full : t
+val of_prefix : Prefix.t -> t
+val of_prefixes : Prefix.t list -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+val mem : Ipv4.t -> t -> bool
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+val count : t -> float
+(** Number of addresses (up to 2^32, hence a float). *)
+
+val choose : t -> Ipv4.t option
+(** Some address in the set, if any. *)
+
+val to_prefixes : t -> Prefix.t list
+(** A minimal disjoint prefix cover of the set, sorted. Worst-case
+    exponential in fragmentation; fine for route-table-shaped sets. *)
+
+val pp : Format.formatter -> t -> unit

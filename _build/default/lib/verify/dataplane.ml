@@ -1,0 +1,142 @@
+type t = {
+  net : Device.network;
+  fibs : (Prefix.t * int list) Prefix_trie.t array;  (** one trie per router *)
+  origin : (Prefix.t * int) list;  (** class prefix -> destination router *)
+  mutable entries : int;
+  mutable ecs : int;
+}
+
+type hop_result =
+  | Delivered of int list
+  | Dropped of int list
+  | Looped of int list
+
+let of_network ?(protocol = `Bgp) ?max_ecs (net : Device.network) =
+  let n = Graph.n_nodes net.Device.graph in
+  let t =
+    {
+      net;
+      fibs = Array.init n (fun _ -> Prefix_trie.create ());
+      origin = [];
+      entries = 0;
+      ecs = 0;
+    }
+  in
+  let ecs = Ecs.compute net in
+  let ecs =
+    match max_ecs with
+    | None -> ecs
+    | Some k -> List.filteri (fun i _ -> i < k) ecs
+  in
+  let add_solution (type a) ec (sol : a Solution.t) =
+    t.ecs <- t.ecs + 1;
+    for u = 0 to n - 1 do
+      match Solution.fwd sol u with
+      | [] -> ()
+      | fwd ->
+        let nhs = List.map snd fwd in
+        Prefix_trie.add t.fibs.(u) ec.Ecs.ec_prefix (ec.Ecs.ec_prefix, nhs);
+        t.entries <- t.entries + 1
+    done
+  in
+  let origins = ref [] in
+  List.iter
+    (fun ec ->
+      match ec.Ecs.ec_origins with
+      | [ dest ] -> (
+        origins := (ec.Ecs.ec_prefix, dest) :: !origins;
+        match protocol with
+        | `Bgp -> (
+          match
+            Solver.solve (Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix)
+          with
+          | Ok (sol, _) -> add_solution ec sol
+          | Error _ -> ())
+        | `Multi -> (
+          match
+            Solver.solve
+              (Compile.multi_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix)
+          with
+          | Ok (sol, _) -> add_solution ec sol
+          | Error _ -> ()))
+      | _ -> ())
+    ecs;
+  { t with origin = !origins }
+
+let fib t u =
+  Prefix_trie.bindings t.fibs.(u)
+  |> List.map snd
+  |> List.sort (fun (p, _) (q, _) -> Prefix.compare p q)
+
+let lookup t u addr =
+  match Prefix_trie.lpm t.fibs.(u) addr with
+  | Some (_, (_, nhs)) -> nhs
+  | None -> []
+
+let dest_of t addr =
+  List.fold_left
+    (fun best (p, d) ->
+      if Prefix.mem addr p then
+        match best with
+        | Some ((q : Prefix.t), _) when q.Prefix.len >= p.Prefix.len -> best
+        | _ -> Some (p, d)
+      else best)
+    None t.origin
+  |> Option.map snd
+
+let trace_gen ~all t ~src addr =
+  let dest = dest_of t addr in
+  let rec go u path seen =
+    if Some u = dest then [ Delivered (List.rev (u :: path)) ]
+    else if List.mem u seen then [ Looped (List.rev (u :: path)) ]
+    else
+      match lookup t u addr with
+      | [] -> [ Dropped (List.rev (u :: path)) ]
+      | nh :: rest ->
+        let nexts = if all then nh :: rest else [ nh ] in
+        List.concat_map (fun v -> go v (u :: path) (u :: seen)) nexts
+  in
+  go src [] []
+
+let trace t ~src addr =
+  match trace_gen ~all:false t ~src addr with
+  | [ r ] -> r
+  | _ -> assert false
+
+let trace_all t ~src addr = trace_gen ~all:true t ~src addr
+
+let n_entries t = t.entries
+let ecs_solved t = t.ecs
+
+let ec_of_prefix t p =
+  List.find_opt (fun ec -> Prefix.equal ec.Ecs.ec_prefix p) (Ecs.compute t.net)
+
+let ranges_of_prefix t p =
+  match ec_of_prefix t p with
+  | Some ec -> Ecs.ranges t.net ec
+  | None -> [ p ]
+
+let addresses_via t u v =
+  Prefix_trie.bindings t.fibs.(u)
+  |> List.fold_left
+       (fun acc (_, (p, nhs)) ->
+         if List.mem v nhs then
+           Addr_set.union acc (Addr_set.of_prefixes (ranges_of_prefix t p))
+         else acc)
+       Addr_set.empty
+
+let addresses_delivered t ~src ~dst =
+  List.fold_left
+    (fun acc (p, origin) ->
+      if origin <> dst then acc
+      else
+        let addr = p.Prefix.addr in
+        let delivered =
+          List.exists
+            (function Delivered _ -> true | _ -> false)
+            (trace_all t ~src addr)
+        in
+        if delivered then
+          Addr_set.union acc (Addr_set.of_prefixes (ranges_of_prefix t p))
+        else acc)
+    Addr_set.empty t.origin

@@ -1,0 +1,57 @@
+(** The data plane: per-router forwarding tables and packet tracing.
+
+    Batfish "first simulates the control plane to produce the data plane"
+    (paper §8) and then answers packet-level queries on it. This module is
+    that step: it solves the SRP of every destination class and assembles,
+    for each router, a longest-prefix-match FIB mapping destination
+    prefixes to next hops. Packets are then traced hop by hop.
+
+    Built either from a concrete network or from a compressed one (one
+    abstract data plane per destination class is meaningless — instead,
+    {!of_network} accepts any configured network, so the emitted abstract
+    configurations of {!Abstract_config} work directly). *)
+
+type t
+
+type hop_result =
+  | Delivered of int list  (** the path taken, source first *)
+  | Dropped of int list  (** no FIB entry at the last node of the path *)
+  | Looped of int list  (** the path revisits a node *)
+
+val of_network :
+  ?protocol:[ `Bgp | `Multi ] -> ?max_ecs:int -> Device.network -> t
+(** Solve every (single-origin) destination class and build the FIBs.
+    Classes whose control plane diverges contribute no entries. *)
+
+val fib : t -> int -> (Prefix.t * int list) list
+(** A router's forwarding table: prefix, next hops; sorted by prefix. *)
+
+val lookup : t -> int -> Ipv4.t -> int list
+(** Longest-prefix-match next hops for an address at a router ([[]] if
+    none). *)
+
+val trace : t -> src:int -> Ipv4.t -> hop_result
+(** Follow the FIBs from [src] (first next-hop at each router) until the
+    address's destination router, a drop, or a loop. *)
+
+val trace_all : t -> src:int -> Ipv4.t -> hop_result list
+(** Like {!trace} but following {e every} next hop (ECMP); one result per
+    distinct path, depth-first order. *)
+
+val n_entries : t -> int
+(** Total number of FIB entries across all routers. *)
+
+val ecs_solved : t -> int
+
+(** {1 Address-set queries (the NoD-style analysis)} *)
+
+val addresses_via : t -> int -> int -> Addr_set.t
+(** The set of destination addresses router [u] forwards to neighbor
+    [v] — the union of the governing ranges of every class whose FIB entry
+    at [u] lists [v] as a next hop. *)
+
+val addresses_delivered : t -> src:int -> dst:int -> Addr_set.t
+(** "All packets that can traverse between source and destination" (the
+    paper's Batfish query): destination addresses originated at [dst] that
+    traffic entering at [src] actually reaches (along at least one ECMP
+    path). *)

@@ -1,0 +1,58 @@
+let reachable = Solution.reaches
+
+let max_path_len sol = Graph.n_nodes sol.Solution.srp.Srp.graph + 1
+
+let paths sol ~src = Solution.forwarding_paths sol ~src ~max_len:(max_path_len sol)
+
+let ends_at_dest sol p =
+  match List.rev p with
+  | last :: _ -> last = sol.Solution.srp.Srp.dest
+  | [] -> false
+
+let path_lengths sol ~src =
+  paths sol ~src
+  |> List.filter (ends_at_dest sol)
+  |> List.map (fun p -> List.length p - 1)
+  |> List.sort compare
+
+let black_hole sol u =
+  paths sol ~src:u
+  |> List.exists (fun p ->
+         match List.rev p with
+         | last :: _ ->
+           last <> sol.Solution.srp.Srp.dest
+           && Solution.fwd sol last = [] (* dead end, not a truncated loop *)
+         | [] -> false)
+
+let has_routing_loop sol =
+  let g = sol.Solution.srp.Srp.graph in
+  let n = Graph.n_nodes g in
+  let color = Array.make n 0 in
+  let found = ref false in
+  let rec visit u =
+    if color.(u) = 1 then found := true
+    else if color.(u) = 0 then begin
+      color.(u) <- 1;
+      List.iter (fun (_, v) -> visit v) (Solution.fwd sol u);
+      color.(u) <- 2
+    end
+  in
+  for u = 0 to n - 1 do
+    if not !found then visit u
+  done;
+  !found
+
+let waypointed sol ~src ~waypoints =
+  paths sol ~src
+  |> List.filter (ends_at_dest sol)
+  |> List.for_all (fun p -> List.exists (fun w -> List.mem w p) waypoints)
+
+let multipath_consistent sol ~src =
+  let ps = paths sol ~src in
+  match ps with
+  | [] -> true
+  | _ ->
+    let good, bad =
+      List.partition (ends_at_dest sol) ps
+    in
+    good = [] || bad = []

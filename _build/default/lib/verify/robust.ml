@@ -1,0 +1,22 @@
+type 'a result =
+  | Holds
+  | Fails of 'a Solution.t
+  | Sampled_holds of int
+
+let solutions ?(max_nodes = 12) ?(tries = 16) (srp : 'a Srp.t) =
+  if Graph.n_nodes srp.Srp.graph <= max_nodes then
+    (`Exhaustive, Solver.enumerate_solutions ~max_nodes srp)
+  else (`Sampled, Solver.solutions_sample ~tries srp)
+
+let for_all_solutions ?max_nodes ?tries srp prop =
+  let kind, sols = solutions ?max_nodes ?tries srp in
+  match List.find_opt (fun s -> not (prop s)) sols with
+  | Some cex -> Fails cex
+  | None -> (
+    match kind with
+    | `Exhaustive -> Holds
+    | `Sampled -> Sampled_holds (List.length sols))
+
+let exists_solution ?max_nodes ?tries srp prop =
+  let _, sols = solutions ?max_nodes ?tries srp in
+  List.find_opt prop sols

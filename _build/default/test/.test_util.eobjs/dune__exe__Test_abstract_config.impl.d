@@ -1,0 +1,1 @@
+test/test_abstract_config.ml: Abstract_config Abstraction Alcotest Array Bonsai_api Compile Device Ecs Fun Generators Graph List Prefix Printf Properties Solution Solver Synthesis

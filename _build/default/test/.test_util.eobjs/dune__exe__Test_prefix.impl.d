@@ -1,0 +1,1 @@
+test/test_prefix.ml: Alcotest Ipv4 List Option Prefix Prefix_trie QCheck QCheck_alcotest

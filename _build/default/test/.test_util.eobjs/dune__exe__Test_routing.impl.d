@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Astring_contains Bgp Format Generators Graph List Multi Option Ospf Rip Solution Solver Srp Static_route

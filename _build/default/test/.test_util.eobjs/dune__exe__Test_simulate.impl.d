@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Array Astring_contains Bgp Compile Ecs Format Generators Graph List Ospf Printf QCheck QCheck_alcotest Queue Rip Solution Solver Srp String Synthesis

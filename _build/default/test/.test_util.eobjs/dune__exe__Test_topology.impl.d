@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Astring_contains Dot Format Generators Graph List Printf

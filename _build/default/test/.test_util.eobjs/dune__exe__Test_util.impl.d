@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array List QCheck QCheck_alcotest Timing Union_split_find

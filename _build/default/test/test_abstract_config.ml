@@ -1,0 +1,163 @@
+(* Emitting the compressed network as configurations: validity, behavioral
+   agreement with the in-memory abstract SRP, idempotence of compression,
+   and configuration-level size reduction. *)
+
+let compress net =
+  let ec = List.hd (Ecs.compute net) in
+  (ec, (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction)
+
+let test_emitted_validates () =
+  List.iter
+    (fun net ->
+      let _, t = compress net in
+      match Device.validate (Abstract_config.emit t) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [
+      Synthesis.fattree_shortest_path (Generators.fattree ~k:4);
+      Synthesis.ring_bgp ~n:10;
+      Synthesis.mesh_bgp ~n:8;
+      (Synthesis.datacenter ()).Synthesis.net;
+    ]
+
+let test_emitted_behavior_matches_abstract_srp () =
+  let net = Synthesis.fattree_shortest_path (Generators.fattree ~k:6) in
+  let ec, t = compress net in
+  let emitted = Abstract_config.emit t in
+  let direct = Abstraction.bgp_srp t in
+  let from_config =
+    Compile.bgp_srp emitted ~dest:t.Abstraction.abs_dest
+      ~dest_prefix:ec.Ecs.ec_prefix
+  in
+  let s1 = Solver.solve_exn direct in
+  let s2 = Solver.solve_exn from_config in
+  for a = 0 to Abstraction.n_abstract t - 1 do
+    (* labels agree (the compiled network does not erase unmatched
+       communities, so compare modulo the attribute abstraction) *)
+    let norm = function
+      | None -> None
+      | Some attr -> Some (Abstraction.h_attr t ~fr:Fun.id attr)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "label at %d" a)
+      true
+      (norm (Solution.label s1 a) = norm (Solution.label s2 a));
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "fwd at %d" a)
+      (Solution.fwd s1 a) (Solution.fwd s2 a)
+  done
+
+let test_idempotent_on_plain_networks () =
+  List.iter
+    (fun (name, net) ->
+      let ec, t = compress net in
+      let emitted = Abstract_config.emit t in
+      let ec' =
+        List.find
+          (fun e -> Prefix.equal e.Ecs.ec_prefix ec.Ecs.ec_prefix)
+          (Ecs.compute emitted)
+      in
+      let t' = (Bonsai_api.compress_ec emitted ec').Bonsai_api.abstraction in
+      Alcotest.(check int)
+        (name ^ ": recompression is a no-op")
+        (Graph.n_nodes emitted.Device.graph)
+        (Abstraction.n_abstract t'))
+    [
+      ("fattree", Synthesis.fattree_shortest_path (Generators.fattree ~k:6));
+      ("ring", Synthesis.ring_bgp ~n:12);
+      ("mesh", Synthesis.mesh_bgp ~n:9);
+      ( "prefer-bottom",
+        Synthesis.fattree_prefer_bottom (Generators.fattree ~k:4) );
+    ]
+
+let test_idempotent_on_datacenter () =
+  let net = (Synthesis.datacenter ()).Synthesis.net in
+  let ec, t = compress net in
+  let emitted = Abstract_config.emit t in
+  let ec' =
+    List.find
+      (fun e -> Prefix.equal e.Ecs.ec_prefix ec.Ecs.ec_prefix)
+      (Ecs.compute emitted)
+  in
+  let t' = (Bonsai_api.compress_ec emitted ec').Bonsai_api.abstraction in
+  Alcotest.(check int) "recompression is a no-op"
+    (Graph.n_nodes emitted.Device.graph)
+    (Abstraction.n_abstract t')
+
+let test_statics_map_through () =
+  (* for a service-prefix class, the leaves' static routes survive into the
+     emitted abstract configuration *)
+  let net = (Synthesis.datacenter ()).Synthesis.net in
+  let ec =
+    List.find
+      (fun ec ->
+        Prefix.subset ec.Ecs.ec_prefix (Prefix.of_string "10.100.0.0/16"))
+      (Ecs.compute net)
+  in
+  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let emitted = Abstract_config.emit t in
+  let with_static =
+    Array.to_list emitted.Device.routers
+    |> List.filter (fun (r : Device.router) ->
+           List.exists (fun (p, _) -> Prefix.equal p ec.Ecs.ec_prefix)
+             r.Device.static_routes)
+  in
+  Alcotest.(check bool) "some abstract router keeps the static" true
+    (with_static <> []);
+  (* and the class still resolves the same way end to end *)
+  let sol = Solver.solve_exn (Compile.multi_srp emitted ~dest:t.Abstraction.abs_dest ~dest_prefix:ec.Ecs.ec_prefix) in
+  Alcotest.(check bool) "abstract configs solve" true (Solution.is_stable sol)
+
+let test_config_reduction () =
+  let net = (Synthesis.datacenter ()).Synthesis.net in
+  let _, t = compress net in
+  let before, after = Abstract_config.config_reduction t in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d -> %d lines" before after)
+    true
+    (after * 4 < before)
+
+let test_emitted_verification_agrees () =
+  (* reachability verdicts computed on the emitted configs match the
+     concrete network's *)
+  let net = Synthesis.fattree_shortest_path (Generators.fattree ~k:6) in
+  let ec, t = compress net in
+  let emitted = Abstract_config.emit t in
+  let sol =
+    Solver.solve_exn
+      (Compile.bgp_srp emitted ~dest:t.Abstraction.abs_dest
+         ~dest_prefix:ec.Ecs.ec_prefix)
+  in
+  let dest = Ecs.single_origin ec in
+  let concrete =
+    Solver.solve_exn (Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix)
+  in
+  for u = 0 to Graph.n_nodes net.Device.graph - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "reachability of %d" u)
+      (Properties.reachable concrete u)
+      (Properties.reachable sol (Abstraction.f t u))
+  done
+
+let () =
+  Alcotest.run "abstract-config"
+    [
+      ( "emit",
+        [
+          Alcotest.test_case "validates" `Quick test_emitted_validates;
+          Alcotest.test_case "matches abstract srp" `Quick
+            test_emitted_behavior_matches_abstract_srp;
+          Alcotest.test_case "verification agrees" `Quick
+            test_emitted_verification_agrees;
+        ] );
+      ( "idempotence",
+        [
+          Alcotest.test_case "plain networks" `Quick
+            test_idempotent_on_plain_networks;
+          Alcotest.test_case "datacenter" `Quick test_idempotent_on_datacenter;
+        ] );
+      ( "statics",
+        [ Alcotest.test_case "map through" `Quick test_statics_map_through ] );
+      ( "reduction",
+        [ Alcotest.test_case "config lines" `Quick test_config_reduction ] );
+    ]

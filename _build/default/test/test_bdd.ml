@@ -1,0 +1,285 @@
+(* BDD substrate: unit tests plus property tests checking agreement with a
+   brute-force truth-table semantics, and canonicity (semantic equality is
+   physical equality). *)
+
+(* A tiny Boolean-formula AST with an evaluator, used as the reference
+   semantics. *)
+type form =
+  | Var of int
+  | Const of bool
+  | Not of form
+  | And of form * form
+  | Or of form * form
+  | Xor of form * form
+
+let rec eval_form env = function
+  | Var i -> env i
+  | Const b -> b
+  | Not f -> not (eval_form env f)
+  | And (a, b) -> eval_form env a && eval_form env b
+  | Or (a, b) -> eval_form env a || eval_form env b
+  | Xor (a, b) -> eval_form env a <> eval_form env b
+
+let rec to_bdd m = function
+  | Var i -> Bdd.var m i
+  | Const true -> Bdd.top
+  | Const false -> Bdd.bot
+  | Not f -> Bdd.not_ m (to_bdd m f)
+  | And (a, b) -> Bdd.and_ m (to_bdd m a) (to_bdd m b)
+  | Or (a, b) -> Bdd.or_ m (to_bdd m a) (to_bdd m b)
+  | Xor (a, b) -> Bdd.xor m (to_bdd m a) (to_bdd m b)
+
+let nvars = 6
+
+let gen_form : form QCheck.arbitrary =
+  let open QCheck.Gen in
+  let leaf = oneof [ map (fun i -> Var i) (int_range 0 (nvars - 1));
+                     map (fun b -> Const b) bool ] in
+  let rec go n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          (2, map (fun f -> Not f) (go (n - 1)));
+          (2, map2 (fun a b -> And (a, b)) (go (n / 2)) (go (n / 2)));
+          (2, map2 (fun a b -> Or (a, b)) (go (n / 2)) (go (n / 2)));
+          (1, map2 (fun a b -> Xor (a, b)) (go (n / 2)) (go (n / 2)));
+        ]
+  in
+  QCheck.make (go 8)
+
+let all_envs =
+  List.init (1 lsl nvars) (fun bits -> fun i -> (bits lsr i) land 1 = 1)
+
+let prop_semantics =
+  QCheck.Test.make ~name:"bdd agrees with truth table" ~count:300 gen_form
+    (fun f ->
+      let m = Bdd.man () in
+      let b = to_bdd m f in
+      List.for_all (fun env -> Bdd.eval b env = eval_form env f) all_envs)
+
+let prop_canonicity =
+  QCheck.Test.make ~name:"semantic equality = physical equality" ~count:300
+    (QCheck.pair gen_form gen_form) (fun (f, g) ->
+      let m = Bdd.man () in
+      let bf = to_bdd m f and bg = to_bdd m g in
+      let sem_equal =
+        List.for_all (fun env -> eval_form env f = eval_form env g) all_envs
+      in
+      Bdd.equal bf bg = sem_equal)
+
+let prop_ite =
+  QCheck.Test.make ~name:"ite is if-then-else" ~count:200
+    (QCheck.triple gen_form gen_form gen_form) (fun (c, t, e) ->
+      let m = Bdd.man () in
+      let b = Bdd.ite m (to_bdd m c) (to_bdd m t) (to_bdd m e) in
+      List.for_all
+        (fun env ->
+          Bdd.eval b env
+          = if eval_form env c then eval_form env t else eval_form env e)
+        all_envs)
+
+let prop_restrict =
+  QCheck.Test.make ~name:"restrict fixes a variable" ~count:200
+    (QCheck.triple gen_form (QCheck.int_range 0 (nvars - 1)) QCheck.bool)
+    (fun (f, v, value) ->
+      let m = Bdd.man () in
+      let b = Bdd.restrict m (to_bdd m f) ~var:v value in
+      List.for_all
+        (fun env ->
+          let env' i = if i = v then value else env i in
+          Bdd.eval b env = eval_form env' f)
+        all_envs)
+
+let prop_exists =
+  QCheck.Test.make ~name:"exists quantifies" ~count:200
+    (QCheck.pair gen_form (QCheck.int_range 0 (nvars - 1))) (fun (f, v) ->
+      let m = Bdd.man () in
+      let b = Bdd.exists m [ v ] (to_bdd m f) in
+      List.for_all
+        (fun env ->
+          let expect =
+            eval_form (fun i -> if i = v then true else env i) f
+            || eval_form (fun i -> if i = v then false else env i) f
+          in
+          Bdd.eval b env = expect)
+        all_envs)
+
+let prop_sat_count =
+  QCheck.Test.make ~name:"sat_count counts satisfying assignments" ~count:200
+    gen_form (fun f ->
+      let m = Bdd.man () in
+      let b = to_bdd m f in
+      let expect =
+        List.length (List.filter (fun env -> eval_form env f) all_envs)
+      in
+      int_of_float (Bdd.sat_count b ~nvars) = expect)
+
+let prop_any_sat =
+  QCheck.Test.make ~name:"any_sat returns a satisfying assignment" ~count:200
+    gen_form (fun f ->
+      let m = Bdd.man () in
+      let b = to_bdd m f in
+      if Bdd.is_bot b then true
+      else begin
+        let partial = Bdd.any_sat b in
+        let env i =
+          match List.assoc_opt i partial with Some x -> x | None -> false
+        in
+        eval_form env f
+      end)
+
+let prop_rename_shift =
+  QCheck.Test.make ~name:"rename_shift shifts the support" ~count:200
+    (QCheck.pair gen_form (QCheck.int_range 0 4)) (fun (f, k) ->
+      let m = Bdd.man () in
+      let b = Bdd.rename_shift m (to_bdd m f) k in
+      List.for_all
+        (fun env ->
+          (* evaluate shifted BDD under env composed with the shift *)
+          Bdd.eval b (fun i -> i >= k && env (i - k)) = eval_form env f)
+        all_envs)
+
+(* unit tests *)
+
+let test_constants () =
+  Alcotest.(check bool) "bot" true (Bdd.is_bot Bdd.bot);
+  Alcotest.(check bool) "top" true (Bdd.is_top Bdd.top);
+  let m = Bdd.man () in
+  Alcotest.(check bool) "x & !x = bot" true
+    (Bdd.is_bot (Bdd.and_ m (Bdd.var m 0) (Bdd.nvar m 0)));
+  Alcotest.(check bool) "x | !x = top" true
+    (Bdd.is_top (Bdd.or_ m (Bdd.var m 0) (Bdd.nvar m 0)))
+
+let test_hash_consing () =
+  let m = Bdd.man () in
+  let a = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.and_ m (Bdd.var m 1) (Bdd.var m 0) in
+  Alcotest.(check bool) "commuted and shares node" true (Bdd.equal a b)
+
+let test_support () =
+  let m = Bdd.man () in
+  let b = Bdd.and_ m (Bdd.var m 2) (Bdd.or_ m (Bdd.var m 5) (Bdd.var m 2)) in
+  Alcotest.(check (list int)) "support" [ 2 ] (Bdd.support b)
+
+let test_size () =
+  let m = Bdd.man () in
+  let b = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check int) "two nodes" 2 (Bdd.size b)
+
+let test_var_rejects_negative () =
+  let m = Bdd.man () in
+  Alcotest.check_raises "negative var"
+    (Invalid_argument "Bdd.var: negative variable") (fun () ->
+      ignore (Bdd.var m (-1)))
+
+let test_rename_monotone_rejects_nonmonotone () =
+  let m = Bdd.man () in
+  let b = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.check_raises "non-monotone"
+    (Invalid_argument "Bdd.rename_monotone: map is not strictly increasing")
+    (fun () -> ignore (Bdd.rename_monotone m b (fun v -> 1 - v)))
+
+let test_boolean_identities () =
+  let m = Bdd.man () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check bool) "imp = !x | y" true
+    (Bdd.equal (Bdd.imp m x y) (Bdd.or_ m (Bdd.not_ m x) y));
+  Alcotest.(check bool) "iff = !(x^y)" true
+    (Bdd.equal (Bdd.iff m x y) (Bdd.not_ m (Bdd.xor m x y)));
+  Alcotest.(check bool) "de morgan" true
+    (Bdd.equal
+       (Bdd.not_ m (Bdd.and_ m x y))
+       (Bdd.or_ m (Bdd.not_ m x) (Bdd.not_ m y)));
+  Alcotest.(check bool) "and_list" true
+    (Bdd.equal (Bdd.and_list m [ x; y; x ]) (Bdd.and_ m x y));
+  Alcotest.(check bool) "or_list empty = bot" true
+    (Bdd.is_bot (Bdd.or_list m []));
+  Alcotest.(check bool) "forall x. x = bot" true
+    (Bdd.is_bot (Bdd.forall m [ 0 ] x));
+  Alcotest.(check bool) "exists x. x = top" true
+    (Bdd.is_top (Bdd.exists m [ 0 ] x))
+
+let test_manager_state () =
+  let m = Bdd.man () in
+  let before = Bdd.num_nodes m in
+  let b = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "nodes grew" true (Bdd.num_nodes m > before);
+  Bdd.clear_caches m;
+  (* equality survives cache clearing (the unique table is retained) *)
+  Alcotest.(check bool) "hash consing survives" true
+    (Bdd.equal b (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1)));
+  Alcotest.(check bool) "compare_id total" true
+    (Bdd.compare_id (Bdd.var m 0) (Bdd.var m 1) <> 0)
+
+(* Bvec *)
+
+let test_bvec_const_eq () =
+  let m = Bdd.man () in
+  let v = Bvec.of_vars m ~first:0 ~width:4 in
+  let eq5 = Bvec.eq_const m v 5 in
+  List.for_all
+    (fun bits ->
+      let env i = (bits lsr i) land 1 = 1 in
+      Bdd.eval eq5 env = (bits = 5))
+    (List.init 16 Fun.id)
+  |> Alcotest.(check bool) "eq_const 5" true
+
+let test_bvec_ite () =
+  let m = Bdd.man () in
+  let c = Bdd.var m 10 in
+  let a = Bvec.const m ~width:3 5 in
+  let b = Bvec.const m ~width:3 2 in
+  let r = Bvec.ite m c a b in
+  (* under c=true the vector equals 5, under c=false it equals 2 *)
+  Alcotest.(check bool) "then" true
+    (Bdd.is_top
+       (Bdd.restrict m (Bvec.eq_const m r 5) ~var:10 true));
+  Alcotest.(check bool) "else" true
+    (Bdd.is_top
+       (Bdd.restrict m (Bvec.eq_const m r 2) ~var:10 false));
+  Alcotest.(check int) "width" 3 (Bvec.width r)
+
+let test_bvec_bits_needed () =
+  Alcotest.(check int) "0 -> 1" 1 (Bvec.bits_needed 0);
+  Alcotest.(check int) "1 -> 1" 1 (Bvec.bits_needed 1);
+  Alcotest.(check int) "2 -> 2" 2 (Bvec.bits_needed 2);
+  Alcotest.(check int) "3 -> 2" 2 (Bvec.bits_needed 3);
+  Alcotest.(check int) "4 -> 3" 3 (Bvec.bits_needed 4);
+  Alcotest.(check int) "255 -> 8" 8 (Bvec.bits_needed 255)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "hash consing" `Quick test_hash_consing;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "negative var" `Quick test_var_rejects_negative;
+          Alcotest.test_case "rename monotone check" `Quick
+            test_rename_monotone_rejects_nonmonotone;
+          Alcotest.test_case "boolean identities" `Quick test_boolean_identities;
+          Alcotest.test_case "manager state" `Quick test_manager_state;
+        ] );
+      ( "bvec",
+        [
+          Alcotest.test_case "const/eq" `Quick test_bvec_const_eq;
+          Alcotest.test_case "ite" `Quick test_bvec_ite;
+          Alcotest.test_case "bits_needed" `Quick test_bvec_bits_needed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_semantics;
+            prop_canonicity;
+            prop_ite;
+            prop_restrict;
+            prop_exists;
+            prop_sat_count;
+            prop_any_sat;
+            prop_rename_shift;
+          ] );
+    ]

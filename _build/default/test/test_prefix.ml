@@ -1,0 +1,188 @@
+(* IPv4 addresses, prefixes and the LPM trie. *)
+
+let ip = Alcotest.testable Ipv4.pp Ipv4.equal
+let pfx = Alcotest.testable Prefix.pp Prefix.equal
+
+let test_ipv4_parse () =
+  Alcotest.(check ip) "parse" (Ipv4.of_octets 10 1 2 3)
+    (Ipv4.of_string "10.1.2.3");
+  Alcotest.(check (option reject)) "bad octet" None
+    (Option.map ignore (Ipv4.of_string_opt "10.1.2.300"));
+  Alcotest.(check (option reject)) "short" None
+    (Option.map ignore (Ipv4.of_string_opt "10.1.2"));
+  Alcotest.(check string) "roundtrip" "192.168.0.1"
+    (Ipv4.to_string (Ipv4.of_string "192.168.0.1"))
+
+let test_ipv4_bits () =
+  let a = Ipv4.of_octets 128 0 0 1 in
+  Alcotest.(check bool) "top bit" true (Ipv4.bit a 0);
+  Alcotest.(check bool) "second bit" false (Ipv4.bit a 1);
+  Alcotest.(check bool) "last bit" true (Ipv4.bit a 31)
+
+let test_prefix_normalizes () =
+  let p = Prefix.make (Ipv4.of_octets 10 1 2 3) 24 in
+  Alcotest.(check string) "host bits dropped" "10.1.2.0/24" (Prefix.to_string p)
+
+let test_prefix_parse () =
+  Alcotest.(check pfx) "with length" (Prefix.make (Ipv4.of_octets 10 0 0 0) 8)
+    (Prefix.of_string "10.0.0.0/8");
+  Alcotest.(check pfx) "bare address is /32"
+    (Prefix.make (Ipv4.of_octets 1 2 3 4) 32)
+    (Prefix.of_string "1.2.3.4")
+
+let test_prefix_mem_subset () =
+  let p8 = Prefix.of_string "10.0.0.0/8" in
+  let p24 = Prefix.of_string "10.1.2.0/24" in
+  Alcotest.(check bool) "mem" true (Prefix.mem (Ipv4.of_string "10.1.2.3") p24);
+  Alcotest.(check bool) "not mem" false
+    (Prefix.mem (Ipv4.of_string "10.1.3.0") p24);
+  Alcotest.(check bool) "subset" true (Prefix.subset p24 p8);
+  Alcotest.(check bool) "not subset" false (Prefix.subset p8 p24);
+  Alcotest.(check bool) "overlap" true (Prefix.overlap p8 p24);
+  Alcotest.(check bool) "disjoint" false
+    (Prefix.overlap p24 (Prefix.of_string "10.1.3.0/24"))
+
+let test_prefix_split () =
+  let lo, hi = Prefix.split (Prefix.of_string "10.0.0.0/8") in
+  Alcotest.(check pfx) "lo" (Prefix.of_string "10.0.0.0/9") lo;
+  Alcotest.(check pfx) "hi" (Prefix.of_string "10.128.0.0/9") hi;
+  Alcotest.check_raises "cannot split /32"
+    (Invalid_argument "Prefix.split: cannot split a /32") (fun () ->
+      ignore (Prefix.split (Prefix.of_string "1.2.3.4/32")))
+
+let test_trie_exact () =
+  let t = Prefix_trie.create () in
+  Prefix_trie.add t (Prefix.of_string "10.0.0.0/8") "eight";
+  Prefix_trie.add t (Prefix.of_string "10.1.0.0/16") "sixteen";
+  Alcotest.(check (option string)) "exact /8" (Some "eight")
+    (Prefix_trie.find_exact t (Prefix.of_string "10.0.0.0/8"));
+  Alcotest.(check (option string)) "exact /16" (Some "sixteen")
+    (Prefix_trie.find_exact t (Prefix.of_string "10.1.0.0/16"));
+  Alcotest.(check (option string)) "absent" None
+    (Prefix_trie.find_exact t (Prefix.of_string "10.1.0.0/24"))
+
+let test_trie_lpm () =
+  let t = Prefix_trie.create () in
+  Prefix_trie.add t (Prefix.of_string "0.0.0.0/0") "default";
+  Prefix_trie.add t (Prefix.of_string "10.0.0.0/8") "eight";
+  Prefix_trie.add t (Prefix.of_string "10.1.0.0/16") "sixteen";
+  let get a =
+    Option.map snd (Prefix_trie.lpm t (Ipv4.of_string a))
+  in
+  Alcotest.(check (option string)) "deep" (Some "sixteen") (get "10.1.2.3");
+  Alcotest.(check (option string)) "mid" (Some "eight") (get "10.2.0.1");
+  Alcotest.(check (option string)) "top" (Some "default") (get "192.168.0.1")
+
+let test_trie_bindings_roundtrip () =
+  let t = Prefix_trie.create () in
+  let ps =
+    [ "10.0.0.0/8"; "10.128.0.0/9"; "10.1.2.0/24"; "0.0.0.0/0"; "255.255.255.255/32" ]
+  in
+  List.iteri (fun i s -> Prefix_trie.add t (Prefix.of_string s) i) ps;
+  Alcotest.(check int) "cardinal" 5 (Prefix_trie.cardinal t);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check (option int)) s (Some i)
+        (List.assoc_opt (Prefix.of_string s)
+           (List.map (fun (p, v) -> (p, v)) (Prefix_trie.bindings t))))
+    ps
+
+let test_trie_update () =
+  let t = Prefix_trie.create () in
+  let p = Prefix.of_string "10.0.0.0/8" in
+  Prefix_trie.update t p (function None -> 1 | Some n -> n + 1);
+  Prefix_trie.update t p (function None -> 1 | Some n -> n + 1);
+  Alcotest.(check (option int)) "updated twice" (Some 2)
+    (Prefix_trie.find_exact t p)
+
+let test_trie_lpm_prefix () =
+  let t = Prefix_trie.create () in
+  Prefix_trie.add t (Prefix.of_string "10.0.0.0/8") "eight";
+  Prefix_trie.add t (Prefix.of_string "10.1.0.0/16") "sixteen";
+  (* longest bound prefix containing the whole query prefix *)
+  (match Prefix_trie.lpm_prefix t (Prefix.of_string "10.1.2.0/24") with
+  | Some (_, v) -> Alcotest.(check string) "contained in /16" "sixteen" v
+  | None -> Alcotest.fail "no match");
+  (match Prefix_trie.lpm_prefix t (Prefix.of_string "10.0.0.0/12") with
+  | Some (_, v) -> Alcotest.(check string) "only /8 contains a /12" "eight" v
+  | None -> Alcotest.fail "no match");
+  Alcotest.(check bool) "nothing contains 192/8" true
+    (Prefix_trie.lpm_prefix t (Prefix.of_string "192.0.0.0/8") = None)
+
+let test_prefix_default_and_bits () =
+  Alcotest.(check string) "default" "0.0.0.0/0" (Prefix.to_string Prefix.default);
+  Alcotest.(check bool) "everything in default" true
+    (Prefix.mem (Ipv4.of_string "255.255.255.255") Prefix.default);
+  Alcotest.check_raises "bit out of range"
+    (Invalid_argument "Prefix.bit: index out of range") (fun () ->
+      ignore (Prefix.bit (Prefix.of_string "10.0.0.0/8") 8));
+  Alcotest.check_raises "ipv4 bit out of range"
+    (Invalid_argument "Ipv4.bit: index out of range") (fun () ->
+      ignore (Ipv4.bit (Ipv4.of_string "1.2.3.4") 32))
+
+(* property: LPM agrees with a linear scan *)
+
+let gen_prefix =
+  QCheck.Gen.(
+    let* len = int_range 0 32 in
+    let* bits = int_range 0 0xFFFFFF in
+    let* hi = int_range 0 255 in
+    let addr = Ipv4.of_int32_bits ((hi lsl 24) lor bits) in
+    return (Prefix.make addr len))
+
+let prop_lpm_matches_scan =
+  QCheck.Test.make ~name:"trie lpm = linear scan" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 0 20) gen_prefix)
+           (int_range 0 0xFFFFFFF)))
+    (fun (prefixes, addr_bits) ->
+      let addr = Ipv4.of_int32_bits addr_bits in
+      let t = Prefix_trie.create () in
+      List.iteri (fun i p -> Prefix_trie.add t p i) prefixes;
+      let expect =
+        (* last write wins per prefix, longest prefix first *)
+        let indexed = List.mapi (fun i p -> (p, i)) prefixes in
+        let matching = List.filter (fun (p, _) -> Prefix.mem addr p) indexed in
+        match
+          List.sort
+            (fun ((a : Prefix.t), i) ((b : Prefix.t), j) ->
+              compare (b.Prefix.len, j) (a.Prefix.len, i))
+            matching
+        with
+        | [] -> None
+        | (p, _) :: _ ->
+          (* the trie stores one value per prefix: find last write *)
+          let same = List.filter (fun (q, _) -> Prefix.equal p q) indexed in
+          Some (snd (List.nth same (List.length same - 1)))
+      in
+      Option.map snd (Prefix_trie.lpm t addr) = expect)
+
+let () =
+  Alcotest.run "prefix"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "parse" `Quick test_ipv4_parse;
+          Alcotest.test_case "bits" `Quick test_ipv4_bits;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "normalize" `Quick test_prefix_normalizes;
+          Alcotest.test_case "parse" `Quick test_prefix_parse;
+          Alcotest.test_case "mem/subset/overlap" `Quick test_prefix_mem_subset;
+          Alcotest.test_case "split" `Quick test_prefix_split;
+        ] );
+      ( "trie",
+        [
+          Alcotest.test_case "exact" `Quick test_trie_exact;
+          Alcotest.test_case "lpm" `Quick test_trie_lpm;
+          Alcotest.test_case "bindings" `Quick test_trie_bindings_roundtrip;
+          Alcotest.test_case "update" `Quick test_trie_update;
+          Alcotest.test_case "lpm_prefix" `Quick test_trie_lpm_prefix;
+          Alcotest.test_case "default/bits" `Quick test_prefix_default_and_bits;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_lpm_matches_scan ] );
+    ]

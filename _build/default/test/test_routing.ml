@@ -1,0 +1,361 @@
+(* Protocol models: attribute orders and transfer functions (paper §3.2). *)
+
+let line3 () = Graph.of_links ~n:3 [ (0, 1); (1, 2) ]
+
+(* --- RIP --- *)
+
+let test_rip_increments () =
+  let srp = Rip.make (line3 ()) ~dest:0 in
+  Alcotest.(check (option int)) "one hop" (Some 1) (srp.Srp.trans 1 0 (Some 0));
+  Alcotest.(check (option int)) "bottom" None (srp.Srp.trans 1 0 None)
+
+let test_rip_hop_limit () =
+  let srp = Rip.make (line3 ()) ~dest:0 in
+  Alcotest.(check (option int)) "at limit" None
+    (srp.Srp.trans 1 0 (Some Rip.max_hops));
+  Alcotest.(check (option int)) "below limit" (Some 15)
+    (srp.Srp.trans 1 0 (Some 14))
+
+let test_rip_prefers_shorter () =
+  Alcotest.(check bool) "2 < 5" true (Rip.compare 2 5 < 0)
+
+let test_rip_long_line_unreachable () =
+  (* 20-node line: nodes past 15 hops get no route *)
+  let n = 20 in
+  let g = Graph.of_links ~n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let sol = Solver.solve_exn (Rip.make g ~dest:0) in
+  Alcotest.(check (option int)) "reachable at 15" (Some 15) (Solution.label sol 15);
+  Alcotest.(check (option int)) "unreachable at 16" None (Solution.label sol 16)
+
+(* --- OSPF --- *)
+
+let test_ospf_costs () =
+  let cost u v = if u = 1 && v = 0 then 10 else 1 in
+  let srp = Ospf.make ~cost (line3 ()) ~dest:0 in
+  let sol = Solver.solve_exn srp in
+  Alcotest.(check (option int)) "node1 cost" (Some 10)
+    (Option.map (fun (a : Ospf.attr) -> a.Ospf.cost) (Solution.label sol 1));
+  Alcotest.(check (option int)) "node2 cost" (Some 11)
+    (Option.map (fun (a : Ospf.attr) -> a.Ospf.cost) (Solution.label sol 2))
+
+let test_ospf_prefers_intra_area () =
+  let a = { Ospf.cost = 10; inter_area = false } in
+  let b = { Ospf.cost = 2; inter_area = true } in
+  Alcotest.(check bool) "intra preferred despite cost" true (Ospf.compare a b < 0)
+
+let test_ospf_area_crossing () =
+  let area v = if v = 2 then 1 else 0 in
+  let srp = Ospf.make ~area (line3 ()) ~dest:0 in
+  let sol = Solver.solve_exn srp in
+  Alcotest.(check (option bool)) "node1 intra" (Some false)
+    (Option.map (fun (a : Ospf.attr) -> a.Ospf.inter_area) (Solution.label sol 1));
+  Alcotest.(check (option bool)) "node2 inter" (Some true)
+    (Option.map (fun (a : Ospf.attr) -> a.Ospf.inter_area) (Solution.label sol 2))
+
+let test_ospf_rejects_nonpositive_cost () =
+  let srp = Ospf.make ~cost:(fun _ _ -> 0) (line3 ()) ~dest:0 in
+  Alcotest.check_raises "zero cost"
+    (Invalid_argument "Ospf: link costs must be positive") (fun () ->
+      ignore (srp.Srp.trans 1 0 (Some { Ospf.cost = 0; inter_area = false })))
+
+(* --- BGP --- *)
+
+let test_bgp_compare_lp_then_path () =
+  let base = Bgp.init in
+  let high_lp = { base with Bgp.lp = 200; path = [ 1; 2; 3 ] } in
+  let short = { base with Bgp.path = [ 1 ] } in
+  Alcotest.(check bool) "lp wins over length" true (Bgp.compare high_lp short < 0);
+  let a = { base with Bgp.path = [ 1 ] } in
+  let b = { base with Bgp.path = [ 2; 3 ] } in
+  Alcotest.(check bool) "shorter path wins" true (Bgp.compare a b < 0);
+  let c = { base with Bgp.path = [ 2 ] } in
+  Alcotest.(check int) "tie" 0 (Bgp.compare a c)
+
+let test_bgp_med_tiebreak () =
+  let a = { Bgp.init with Bgp.med = 1; path = [ 7 ] } in
+  let b = { Bgp.init with Bgp.med = 5; path = [ 8 ] } in
+  Alcotest.(check bool) "lower med preferred" true (Bgp.compare a b < 0)
+
+let test_bgp_communities () =
+  let a = Bgp.add_comm 5 (Bgp.add_comm 3 (Bgp.add_comm 5 Bgp.init)) in
+  Alcotest.(check (list int)) "sorted, deduped" [ 3; 5 ] a.Bgp.comms;
+  Alcotest.(check bool) "has" true (Bgp.has_comm 3 a);
+  let a = Bgp.del_comm 3 a in
+  Alcotest.(check bool) "deleted" false (Bgp.has_comm 3 a)
+
+let test_bgp_appends_path_and_loop_check () =
+  let g = line3 () in
+  let srp = Bgp.make ~policy:(fun _ _ a -> Some a) g ~dest:0 in
+  (match srp.Srp.trans 1 0 (Some Bgp.init) with
+  | Some a -> Alcotest.(check (list int)) "appended" [ 0 ] a.Bgp.path
+  | None -> Alcotest.fail "dropped");
+  (* a route whose path already contains the receiver is rejected *)
+  Alcotest.(check bool) "loop rejected" true
+    (srp.Srp.trans 1 2 (Some { Bgp.init with Bgp.path = [ 1; 0 ] }) = None);
+  (* without loop prevention it is accepted *)
+  let srp' =
+    Bgp.make ~loop_prevention:false ~policy:(fun _ _ a -> Some a) g ~dest:0
+  in
+  Alcotest.(check bool) "accepted without prevention" true
+    (srp'.Srp.trans 1 2 (Some { Bgp.init with Bgp.path = [ 1; 0 ] }) <> None)
+
+let test_bgp_policy_applied () =
+  let g = line3 () in
+  let policy u _v a =
+    if u = 2 then Some (Bgp.add_comm 9 { a with Bgp.lp = 150 }) else Some a
+  in
+  let srp = Bgp.make ~policy g ~dest:0 in
+  let sol = Solver.solve_exn srp in
+  match Solution.label sol 2 with
+  | Some a ->
+    Alcotest.(check int) "lp set" 150 a.Bgp.lp;
+    Alcotest.(check (list int)) "comm added" [ 9 ] a.Bgp.comms
+  | None -> Alcotest.fail "no route at node 2"
+
+(* --- static routes --- *)
+
+let test_static_spontaneous () =
+  let g = line3 () in
+  let srp = Static_route.make g ~dest:0 ~routes:[ (1, 0) ] in
+  Alcotest.(check bool) "route present without neighbor attr" true
+    (srp.Srp.trans 1 0 None = Some ());
+  Alcotest.(check bool) "no route elsewhere" true (srp.Srp.trans 2 1 None = None);
+  Alcotest.(check bool) "non-spontaneity violated by design" false
+    (Srp.non_spontaneous srp)
+
+let test_static_rejects_missing_edge () =
+  let g = line3 () in
+  Alcotest.check_raises "missing edge"
+    (Invalid_argument "Static_route.make: route along a missing edge")
+    (fun () -> ignore (Static_route.make g ~dest:0 ~routes:[ (2, 0) ]))
+
+let test_static_loop_representable () =
+  (* Figure 6 made pathological: two nodes pointing at each other *)
+  let g = Graph.of_links ~n:3 [ (0, 1); (1, 2) ] in
+  let srp = Static_route.make g ~dest:0 ~routes:[ (1, 2); (2, 1) ] in
+  let sol = Solver.solve_exn srp in
+  let fwd1 = Solution.fwd sol 1 and fwd2 = Solution.fwd sol 2 in
+  Alcotest.(check (list (pair int int))) "1 -> 2" [ (1, 2) ] fwd1;
+  Alcotest.(check (list (pair int int))) "2 -> 1" [ (2, 1) ] fwd2
+
+(* --- multi-protocol --- *)
+
+let test_admin_distance_order () =
+  Alcotest.(check bool) "static < ebgp" true
+    (Multi.admin_distance Multi.P_static < Multi.admin_distance Multi.P_ebgp);
+  Alcotest.(check bool) "ebgp < ospf" true
+    (Multi.admin_distance Multi.P_ebgp < Multi.admin_distance Multi.P_ospf);
+  Alcotest.(check bool) "ospf < ibgp" true
+    (Multi.admin_distance Multi.P_ospf < Multi.admin_distance Multi.P_ibgp)
+
+let test_multi_selects_by_ad () =
+  let a =
+    {
+      Multi.static_ = false;
+      ospf = Some { Ospf.cost = 1; inter_area = false };
+      bgp = Some { Multi.battr = Bgp.init; via_ibgp = false };
+    }
+  in
+  Alcotest.(check bool) "ebgp selected over ospf" true
+    (Multi.selected a = Multi.P_ebgp);
+  let b = { a with Multi.static_ = true } in
+  Alcotest.(check bool) "static wins" true (Multi.selected b = Multi.P_static)
+
+let test_multi_static_beats_bgp_in_solution () =
+  let g = line3 () in
+  let srp = Multi.make ~static_routes:[ (1, 0) ] g ~dest:0 in
+  let sol = Solver.solve_exn srp in
+  match Solution.label sol 1 with
+  | Some a -> Alcotest.(check bool) "selected static" true (Multi.selected a = Multi.P_static)
+  | None -> Alcotest.fail "no route"
+
+let test_multi_ospf_only_network () =
+  let g = line3 () in
+  let srp =
+    Multi.make ~bgp_enabled:(fun _ _ -> false) ~origin_protocols:[ Multi.P_ospf ]
+      g ~dest:0
+  in
+  let sol = Solver.solve_exn srp in
+  match Solution.label sol 2 with
+  | Some a ->
+    Alcotest.(check bool) "ospf selected" true (Multi.selected a = Multi.P_ospf);
+    Alcotest.(check (option int)) "cost 2" (Some 2)
+      (Option.map (fun (o : Ospf.attr) -> o.Ospf.cost) a.Multi.ospf)
+  | None -> Alcotest.fail "no route"
+
+let test_multi_redistribution_ospf_into_bgp () =
+  (* 0 -(ospf)- 1 -(bgp)- 2: node 1 redistributes OSPF into BGP *)
+  let g = line3 () in
+  let srp =
+    Multi.make
+      ~ospf_enabled:(fun u v -> (u, v) = (1, 0) || (u, v) = (0, 1))
+      ~bgp_enabled:(fun u v -> (u, v) = (1, 2) || (u, v) = (2, 1))
+      ~redistribute:(fun v -> if v = 1 then [ Multi.Ospf_into_bgp ] else [])
+      ~origin_protocols:[ Multi.P_ospf ] g ~dest:0
+  in
+  let sol = Solver.solve_exn srp in
+  (match Solution.label sol 1 with
+  | Some a -> Alcotest.(check bool) "1 has ospf" true (Option.is_some a.Multi.ospf)
+  | None -> Alcotest.fail "no route at 1");
+  match Solution.label sol 2 with
+  | Some a ->
+    Alcotest.(check bool) "2 got bgp via redistribution" true
+      (Option.is_some a.Multi.bgp)
+  | None -> Alcotest.fail "no route at 2"
+
+let test_multi_ibgp_no_readvertise () =
+  (* chain of three iBGP sessions: third node must not learn the route
+     because routes learned over iBGP are not re-advertised *)
+  let g = Graph.of_links ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let srp =
+    Multi.make
+      ~ibgp:(fun u v -> (min u v, max u v) <> (0, 1))
+      ~ospf_enabled:(fun _ _ -> false)
+      ~origin_protocols:[ Multi.P_ebgp ] g ~dest:0
+  in
+  let sol = Solver.solve_exn srp in
+  Alcotest.(check bool) "2 learns over ibgp" true
+    (match Solution.label sol 2 with
+    | Some a -> a.Multi.bgp <> None
+    | None -> false);
+  Alcotest.(check bool) "3 does not" true (Solution.label sol 3 = None)
+
+let test_multi_ibgp_keeps_path () =
+  let g = line3 () in
+  let srp = Multi.make ~ibgp:(fun _ _ -> true) g ~dest:0 in
+  match srp.Srp.trans 1 0 (Some {
+      Multi.static_ = false; ospf = None;
+      bgp = Some { Multi.battr = Bgp.init; via_ibgp = false } }) with
+  | Some { Multi.bgp = Some b; _ } ->
+    Alcotest.(check (list int)) "path unchanged over ibgp" [] b.Multi.battr.Bgp.path;
+    Alcotest.(check bool) "marked ibgp" true b.Multi.via_ibgp
+  | _ -> Alcotest.fail "route dropped"
+
+(* --- SRP helpers -------------------------------------------------------- *)
+
+let test_non_spontaneous () =
+  let g = line3 () in
+  Alcotest.(check bool) "rip" true (Srp.non_spontaneous (Rip.make g ~dest:0));
+  Alcotest.(check bool) "ospf" true (Srp.non_spontaneous (Ospf.make g ~dest:0));
+  Alcotest.(check bool) "bgp" true
+    (Srp.non_spontaneous (Bgp.make ~policy:(fun _ _ a -> Some a) g ~dest:0));
+  Alcotest.(check bool) "multi" true (Srp.non_spontaneous (Multi.make g ~dest:0))
+
+let test_pp_label () =
+  let srp = Rip.make (line3 ()) ~dest:0 in
+  Alcotest.(check string) "bottom" "⊥"
+    (Format.asprintf "%a" (Srp.pp_label srp) None);
+  Alcotest.(check string) "attr" "3"
+    (Format.asprintf "%a" (Srp.pp_label srp) (Some 3))
+
+let test_map_graph () =
+  let srp = Rip.make (line3 ()) ~dest:0 in
+  let g' = Generators.ring ~n:4 in
+  let srp' = Srp.map_graph srp g' ~dest:2 in
+  Alcotest.(check int) "new dest" 2 srp'.Srp.dest;
+  Alcotest.(check int) "new graph" 4 (Graph.n_nodes srp'.Srp.graph);
+  (* protocol parts survive *)
+  Alcotest.(check (option int)) "trans" (Some 1) (srp'.Srp.trans 1 2 (Some 0))
+
+let test_multi_static_into_bgp () =
+  (* 0 -(static at 1)- 1 -(bgp)- 2: node 1 redistributes its static route *)
+  let g = line3 () in
+  let srp =
+    Multi.make
+      ~ospf_enabled:(fun _ _ -> false)
+      ~bgp_enabled:(fun u v -> (u, v) = (1, 2) || (u, v) = (2, 1))
+      ~static_routes:[ (1, 0) ]
+      ~redistribute:(fun v -> if v = 1 then [ Multi.Static_into_bgp ] else [])
+      ~origin_protocols:[ Multi.P_static ] g ~dest:0
+  in
+  let sol = Solver.solve_exn srp in
+  (match Solution.label sol 1 with
+  | Some a -> Alcotest.(check bool) "1 uses static" true (a.Multi.static_ = true)
+  | None -> Alcotest.fail "no route at 1");
+  match Solution.label sol 2 with
+  | Some a ->
+    Alcotest.(check bool) "2 got redistributed bgp" true (a.Multi.bgp <> None)
+  | None -> Alcotest.fail "no route at 2"
+
+let test_multi_pp_smoke () =
+  let a =
+    {
+      Multi.static_ = true;
+      ospf = Some { Ospf.cost = 3; inter_area = true };
+      bgp = Some { Multi.battr = Bgp.init; via_ibgp = true };
+    }
+  in
+  let s = Format.asprintf "%a" Multi.pp a in
+  Alcotest.(check bool) "mentions selection" true
+    (Astring_contains.contains s "sel=static");
+  Alcotest.(check bool) "mentions ibgp" true (Astring_contains.contains s "ibgp")
+
+let test_bgp_tie_filter () =
+  let a = { Bgp.init with Bgp.comms = [ 5 ]; path = [ 1 ] } in
+  let b = { Bgp.init with Bgp.comms = []; path = [ 2 ] } in
+  (* default comparison tie-breaks on the communities *)
+  Alcotest.(check bool) "unfiltered orders" true (Bgp.compare a b <> 0);
+  (* filtering community 5 away restores the tie *)
+  Alcotest.(check int) "filtered ties" 0
+    (Bgp.compare_with ~tie_filter:(fun c -> c <> 5) a b)
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "rip",
+        [
+          Alcotest.test_case "increments" `Quick test_rip_increments;
+          Alcotest.test_case "hop limit" `Quick test_rip_hop_limit;
+          Alcotest.test_case "prefers shorter" `Quick test_rip_prefers_shorter;
+          Alcotest.test_case "long line unreachable" `Quick
+            test_rip_long_line_unreachable;
+        ] );
+      ( "ospf",
+        [
+          Alcotest.test_case "costs" `Quick test_ospf_costs;
+          Alcotest.test_case "intra-area preferred" `Quick
+            test_ospf_prefers_intra_area;
+          Alcotest.test_case "area crossing" `Quick test_ospf_area_crossing;
+          Alcotest.test_case "positive costs" `Quick
+            test_ospf_rejects_nonpositive_cost;
+        ] );
+      ( "bgp",
+        [
+          Alcotest.test_case "compare" `Quick test_bgp_compare_lp_then_path;
+          Alcotest.test_case "med tiebreak" `Quick test_bgp_med_tiebreak;
+          Alcotest.test_case "communities" `Quick test_bgp_communities;
+          Alcotest.test_case "path append + loop check" `Quick
+            test_bgp_appends_path_and_loop_check;
+          Alcotest.test_case "policy applied" `Quick test_bgp_policy_applied;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "spontaneous" `Quick test_static_spontaneous;
+          Alcotest.test_case "missing edge rejected" `Quick
+            test_static_rejects_missing_edge;
+          Alcotest.test_case "loops representable" `Quick
+            test_static_loop_representable;
+        ] );
+      ( "srp",
+        [
+          Alcotest.test_case "non-spontaneity" `Quick test_non_spontaneous;
+          Alcotest.test_case "pp_label" `Quick test_pp_label;
+          Alcotest.test_case "map_graph" `Quick test_map_graph;
+          Alcotest.test_case "bgp tie filter" `Quick test_bgp_tie_filter;
+        ] );
+      ( "multi",
+        [
+          Alcotest.test_case "admin distance" `Quick test_admin_distance_order;
+          Alcotest.test_case "selection by AD" `Quick test_multi_selects_by_ad;
+          Alcotest.test_case "static beats bgp" `Quick
+            test_multi_static_beats_bgp_in_solution;
+          Alcotest.test_case "ospf-only" `Quick test_multi_ospf_only_network;
+          Alcotest.test_case "redistribution" `Quick
+            test_multi_redistribution_ospf_into_bgp;
+          Alcotest.test_case "ibgp no readvertise" `Quick
+            test_multi_ibgp_no_readvertise;
+          Alcotest.test_case "ibgp keeps path" `Quick test_multi_ibgp_keeps_path;
+          Alcotest.test_case "static into bgp" `Quick test_multi_static_into_bgp;
+          Alcotest.test_case "pp" `Quick test_multi_pp_smoke;
+        ] );
+    ]
