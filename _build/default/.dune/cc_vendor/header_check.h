@@ -1,0 +1,10 @@
+
+#if defined( _MSC_VER )
+msvc
+#elif defined( __clang__ )
+clang
+#elif defined( __GNUC__ )
+gcc
+#else
+other
+#endif

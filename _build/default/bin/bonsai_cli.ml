@@ -9,7 +9,9 @@
    Network specifications: fattree:K, fattree-prefer:K, ring:N, mesh:N,
    random:N[:SEED], datacenter, wan. *)
 
-let parse_network spec =
+(* Parses a network spec; [file:PATH] networks additionally carry a source
+   location table for file:line diagnostics. *)
+let parse_network_full spec =
   let fail () =
     `Error
       (false,
@@ -18,28 +20,29 @@ let parse_network spec =
           mesh:N, random:N[:SEED], datacenter, wan)"
          spec)
   in
+  let pure net = `Ok (net, None) in
   match String.split_on_char ':' spec with
   | "file" :: rest -> (
-    match Config_text.load (String.concat ":" rest) with
-    | Ok net -> `Ok net
+    match Config_text.load_with_locs (String.concat ":" rest) with
+    | Ok (net, locs) -> `Ok (net, Some locs)
     | Error e -> `Error (false, e))
-  | [ "datacenter" ] -> `Ok (Synthesis.datacenter ()).Synthesis.net
-  | [ "wan" ] -> `Ok (Synthesis.wan ()).Synthesis.net
+  | [ "datacenter" ] -> pure (Synthesis.datacenter ()).Synthesis.net
+  | [ "wan" ] -> pure (Synthesis.wan ()).Synthesis.net
   | [ "fattree"; k ] -> (
     match int_of_string_opt k with
-    | Some k -> `Ok (Synthesis.fattree_shortest_path (Generators.fattree ~k))
+    | Some k -> pure (Synthesis.fattree_shortest_path (Generators.fattree ~k))
     | None -> fail ())
   | [ "fattree-prefer"; k ] -> (
     match int_of_string_opt k with
-    | Some k -> `Ok (Synthesis.fattree_prefer_bottom (Generators.fattree ~k))
+    | Some k -> pure (Synthesis.fattree_prefer_bottom (Generators.fattree ~k))
     | None -> fail ())
   | [ "ring"; n ] -> (
     match int_of_string_opt n with
-    | Some n -> `Ok (Synthesis.ring_bgp ~n)
+    | Some n -> pure (Synthesis.ring_bgp ~n)
     | None -> fail ())
   | [ "mesh"; n ] -> (
     match int_of_string_opt n with
-    | Some n -> `Ok (Synthesis.mesh_bgp ~n)
+    | Some n -> pure (Synthesis.mesh_bgp ~n)
     | None -> fail ())
   | [ "random"; n ] | [ "random"; n; _ ] -> (
     let seed =
@@ -48,9 +51,14 @@ let parse_network spec =
       | _ -> 0
     in
     match int_of_string_opt n with
-    | Some n -> `Ok (Synthesis.random_network ~n ~seed)
+    | Some n -> pure (Synthesis.random_network ~n ~seed)
     | None -> fail ())
   | _ -> fail ()
+
+let parse_network spec =
+  match parse_network_full spec with
+  | `Ok (net, _) -> `Ok net
+  | `Error _ as e -> e
 
 let network_conv =
   Cmdliner.Arg.conv
@@ -65,6 +73,23 @@ let network_arg =
     required
     & pos 0 (some network_conv) None
     & info [] ~docv:"NETWORK" ~doc:"Network specification (e.g. fattree:12).")
+
+let network_locs_conv =
+  Cmdliner.Arg.conv
+    ( (fun s ->
+        match parse_network_full s with
+        | `Ok pair -> Ok pair
+        | `Error (_, msg) -> Error (`Msg msg)),
+      fun ppf _ -> Format.pp_print_string ppf "<network>" )
+
+let network_locs_arg =
+  Cmdliner.Arg.(
+    required
+    & pos 0 (some network_locs_conv) None
+    & info [] ~docv:"NETWORK"
+        ~doc:
+          "Network specification (e.g. fattree:12, or file:PATH for source \
+           line numbers in diagnostics).")
 
 let find_ec net = function
   | None -> List.hd (Ecs.compute net)
@@ -93,10 +118,37 @@ let info_cmd_run net =
 
 (* --- compress --------------------------------------------------------- *)
 
-let compress_cmd_run net ec_prefix dot all =
+(* Re-validate the effective-abstraction conditions (paper Figure 4) on a
+   finished abstraction; true iff clean. *)
+let check_result net (r : Bonsai_api.ec_result) =
+  let _, signature =
+    Compile.edge_signatures
+      ~universe:r.Bonsai_api.abstraction.Abstraction.universe net
+      ~dest:r.Bonsai_api.ec.Ecs.ec_prefix
+  in
+  match Check.check r.Bonsai_api.abstraction ~signature with
+  | [] ->
+    Format.printf "check %a: ok@." Prefix.pp r.Bonsai_api.ec.Ecs.ec_prefix;
+    true
+  | vs ->
+    Format.printf "check %a: %d violation%s@." Prefix.pp
+      r.Bonsai_api.ec.Ecs.ec_prefix (List.length vs)
+      (if List.length vs = 1 then "" else "s");
+    List.iter (Format.printf "  %a@." Check.pp_violation) vs;
+    false
+
+let compress_cmd_run net ec_prefix dot all check =
   if all then begin
     let s = Bonsai_api.compress net in
-    Format.printf "%a@." Bonsai_api.pp_summary s
+    Format.printf "%a@." Bonsai_api.pp_summary s;
+    if check then begin
+      let ok =
+        List.fold_left
+          (fun ok r -> check_result net r && ok)
+          true s.Bonsai_api.results
+      in
+      if not ok then exit 1
+    end
   end
   else begin
     let ec = find_ec net ec_prefix in
@@ -118,11 +170,28 @@ let compress_cmd_run net ec_prefix dot all =
                 (List.filteri (fun i _ -> i < 6) members)
              @ if List.length members > 6 then [ "..." ] else [])))
       t.Abstraction.groups;
-    match dot with
+    (match dot with
     | None -> ()
     | Some path ->
       Dot.write_file ~path t.Abstraction.abs_graph;
-      Format.printf "abstract topology written to %s@." path
+      Format.printf "abstract topology written to %s@." path);
+    if check && not (check_result net r) then exit 1
+  end
+
+(* --- lint -------------------------------------------------------------- *)
+
+let lint_cmd_run (net, locs) format min_severity no_compression list_checks =
+  if list_checks then
+    List.iter
+      (fun (name, doc) -> Format.printf "%-24s %s@." name doc)
+      Lint.checks
+  else begin
+    let ds = Lint.run ?locs ~compression:(not no_compression) net in
+    let shown = Lint.filter ~min_severity ds in
+    (match format with
+    | `Text -> Format.printf "%a" Lint.pp_text shown
+    | `Json -> Format.printf "%a" Lint.pp_json shown);
+    if Lint.has_errors ds then exit 1
   end
 
 (* --- verify ------------------------------------------------------------ *)
@@ -266,9 +335,60 @@ let compress_cmd =
       value & flag
       & info [ "all" ] ~doc:"Compress every destination class and summarize.")
   in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Independently re-validate the effective-abstraction conditions \
+             (paper Figure 4) on the result; exit 1 on any violation.")
+  in
   Cmd.v
     (Cmd.info "compress" ~doc:"Compress a network for one destination class")
-    Term.(const compress_cmd_run $ network_arg $ ec_arg $ dot $ all)
+    Term.(const compress_cmd_run $ network_arg $ ec_arg $ dot $ all $ check)
+
+let lint_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format (text|json).")
+  in
+  let min_severity =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("info", Diag.Info);
+               ("warning", Diag.Warning);
+               ("error", Diag.Error);
+             ])
+          Diag.Info
+      & info [ "min-severity" ] ~docv:"SEV"
+          ~doc:"Hide diagnostics below this severity (error|warning|info).")
+  in
+  let no_compression =
+    Arg.(
+      value & flag
+      & info [ "no-compression-check" ]
+          ~doc:
+            "Skip the compression-blocker report (it encodes every interface \
+             policy as a BDD, the slow part on big networks).")
+  in
+  let list_checks =
+    Arg.(
+      value & flag
+      & info [ "list-checks" ] ~doc:"List every check and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the semantic configuration linter (exit 1 iff any \
+          error-severity diagnostic)")
+    Term.(
+      const lint_cmd_run $ network_locs_arg $ format $ min_severity
+      $ no_compression $ list_checks)
 
 let verify_cmd =
   let src =
@@ -365,4 +485,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc)
-          [ info_cmd; compress_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd ]))
+          [ info_cmd; compress_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+lib/analysis/cond_bdd.ml: Acl Array Bdd Bvec Device Fun Int List Option Prefix Route_map

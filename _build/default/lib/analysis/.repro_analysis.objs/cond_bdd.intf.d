@@ -1,0 +1,1 @@
+lib/analysis/cond_bdd.mli: Acl Bdd Device Prefix Route_map

@@ -1,0 +1,1 @@
+lib/analysis/diag.ml: Buffer Char Format Int List Option Printf Stdlib String

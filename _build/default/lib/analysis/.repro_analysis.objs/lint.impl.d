@@ -1,0 +1,1 @@
+lib/analysis/lint.ml: Cond_bdd Device Diag Format Lint_acl Lint_comms Lint_compress Lint_route_map Lint_routing Lint_session List

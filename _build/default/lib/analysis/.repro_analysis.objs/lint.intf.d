@@ -1,0 +1,1 @@
+lib/analysis/lint.mli: Config_text Device Diag Format

@@ -1,0 +1,1 @@
+lib/analysis/lint_acl.ml: Acl Array Bdd Cond_bdd Config_text Device Diag Graph List Option Prefix Printf

@@ -1,0 +1,1 @@
+lib/analysis/lint_acl.mli: Cond_bdd Config_text Device Diag

@@ -1,0 +1,1 @@
+lib/analysis/lint_comms.ml: Array Config_text Device Diag Graph Hashtbl Int List Option Printf Route_map String

@@ -1,0 +1,1 @@
+lib/analysis/lint_comms.mli: Config_text Device Diag

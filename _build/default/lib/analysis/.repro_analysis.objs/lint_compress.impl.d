@@ -1,0 +1,1 @@
+lib/analysis/lint_compress.ml: Array Bdd Device Diag Ecs Graph Hashtbl Int List Option Policy_bdd Prefix Printf String

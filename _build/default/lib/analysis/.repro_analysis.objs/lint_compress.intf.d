@@ -1,0 +1,1 @@
+lib/analysis/lint_compress.mli: Config_text Device Diag

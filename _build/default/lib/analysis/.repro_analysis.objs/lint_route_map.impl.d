@@ -1,0 +1,1 @@
+lib/analysis/lint_route_map.ml: Array Bdd Cond_bdd Config_text Device Diag Graph Hashtbl List Option Printf Route_map String

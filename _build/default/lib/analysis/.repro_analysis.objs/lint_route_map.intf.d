@@ -1,0 +1,1 @@
+lib/analysis/lint_route_map.mli: Cond_bdd Config_text Device Diag

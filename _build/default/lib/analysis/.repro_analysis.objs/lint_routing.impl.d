@@ -1,0 +1,1 @@
+lib/analysis/lint_routing.ml: Array Bdd Cond_bdd Config_text Device Diag Graph Hashtbl Int List Multi Option Prefix Printf Route_map String

@@ -1,0 +1,1 @@
+lib/analysis/lint_routing.mli: Cond_bdd Config_text Device Diag

@@ -1,0 +1,1 @@
+lib/analysis/lint_session.ml: Array Config_text Device Diag Graph List Option Printf

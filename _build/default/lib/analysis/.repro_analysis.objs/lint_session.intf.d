@@ -1,0 +1,1 @@
+lib/analysis/lint_session.mli: Config_text Device Diag

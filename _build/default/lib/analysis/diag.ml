@@ -1,0 +1,92 @@
+type severity = Error | Warning | Info
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+type loc = {
+  router : string option;
+  neighbor : string option;
+  rm_name : string option;
+  clause : int option;
+  line : int option;
+}
+
+let no_loc =
+  { router = None; neighbor = None; rm_name = None; clause = None; line = None }
+
+let at_router ?neighbor ?line router =
+  { no_loc with router = Some router; neighbor; line }
+
+type t = { check : string; severity : severity; loc : loc; message : string }
+
+let make ~check ~severity ?(loc = no_loc) message =
+  { check; severity; loc; message }
+
+let compare a b =
+  let c = Int.compare (severity_rank b.severity) (severity_rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.check b.check in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.loc b.loc in
+      if c <> 0 then c else String.compare a.message b.message
+
+let pp_loc ppf (l : loc) =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  Option.iter (fun r -> add "router %s" r) l.router;
+  Option.iter (fun n -> add "-> %s" n) l.neighbor;
+  Option.iter (fun n -> add "route-map %s" n) l.rm_name;
+  Option.iter (fun i -> add "clause %d" (i + 1)) l.clause;
+  Option.iter (fun n -> add "line %d" n) l.line;
+  match List.rev !parts with
+  | [] -> Format.pp_print_string ppf "network"
+  | ps -> Format.pp_print_string ppf (String.concat " " ps)
+
+let pp ppf d =
+  Format.fprintf ppf "%s: [%s] %a: %s"
+    (severity_to_string d.severity)
+    d.check pp_loc d.loc d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let buf = Buffer.create 128 in
+  let field k v = Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" k v) in
+  let str_field k v = field k (Printf.sprintf "\"%s\"" (json_escape v)) in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"check\":\"%s\",\"severity\":\"%s\""
+       (json_escape d.check)
+       (severity_to_string d.severity));
+  Option.iter (str_field "router") d.loc.router;
+  Option.iter (str_field "neighbor") d.loc.neighbor;
+  Option.iter (str_field "route_map") d.loc.rm_name;
+  Option.iter (fun i -> field "clause" (string_of_int (i + 1))) d.loc.clause;
+  Option.iter (fun n -> field "line" (string_of_int n)) d.loc.line;
+  str_field "message" d.message;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,83 @@
+let checks =
+  [
+    ( "unmatched-community",
+      "community set by some route-map but matched by none (pruned by the \
+       attribute abstraction)" );
+  ]
+
+let run ?locs (net : Device.network) =
+  let matched = Hashtbl.create 16 in
+  (* community -> (router, neighbor, dir, rm) of the setters, reversed *)
+  let setters : (int, (string * string * string * Route_map.t) list ref)
+      Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let g = net.Device.graph in
+  let seen : (Route_map.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun v (r : Device.router) ->
+      List.iter
+        (fun (u, (nb : Device.bgp_neighbor)) ->
+          let visit dir rm =
+            List.iter
+              (fun c -> Hashtbl.replace matched c ())
+              (Route_map.communities_matched rm);
+            if not (Hashtbl.mem seen rm) then begin
+              Hashtbl.replace seen rm ();
+              List.iter
+                (fun c ->
+                  let cur =
+                    match Hashtbl.find_opt setters c with
+                    | Some l -> l
+                    | None ->
+                      let l = ref [] in
+                      Hashtbl.add setters c l;
+                      l
+                  in
+                  cur := (Graph.name g v, Graph.name g u, dir, rm) :: !cur)
+                (Route_map.communities_set rm)
+            end
+          in
+          Option.iter (visit "import") nb.import_rm;
+          Option.iter (visit "export") nb.export_rm)
+        r.bgp_neighbors)
+    net.routers;
+  let unmatched =
+    Hashtbl.fold
+      (fun c l acc -> if Hashtbl.mem matched c then acc else (c, !l) :: acc)
+      setters []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.map
+    (fun (c, sets) ->
+      let sets = List.rev sets in
+      let router, neighbor, _, rm = List.hd sets in
+      let rm_name = Option.bind locs (fun l -> Config_text.rm_name_of l rm) in
+      let where (router, neighbor, dir, rm) =
+        match Option.bind locs (fun l -> Config_text.rm_name_of l rm) with
+        | Some n -> Printf.sprintf "route-map %s" n
+        | None ->
+          Printf.sprintf "the %s route-map of %s -> %s" dir router neighbor
+      in
+      let loc =
+        {
+          Diag.router = Some router;
+          neighbor = Some neighbor;
+          rm_name;
+          clause = None;
+          line =
+            Option.bind rm_name (fun n ->
+                Option.bind locs (fun l ->
+                    Option.map
+                      (fun r -> r.Config_text.rm_line)
+                      (Config_text.rm_loc l n)));
+        }
+      in
+      Diag.make ~check:"unmatched-community" ~severity:Diag.Info ~loc
+        (Printf.sprintf
+           "community %s is set by %s but matched nowhere; the attribute \
+            abstraction prunes it, and it only grows advertisements on the \
+            wire"
+           (Config_text.community_to_string c)
+           (String.concat " and " (List.map where sets))))
+    unmatched

@@ -1,0 +1,16 @@
+(** Compression blockers.
+
+    Routers that the topology alone would let Bonsai merge — same degree,
+    same neighbor-degree profile, same protocol mix — can still land in
+    different roles because their interface policies differ semantically.
+    When the difference is {e small} (confined to a couple of BDD fields,
+    typically one community or one local-preference value — the shape of a
+    copy-paste error), this check reports the closest blocking pair per
+    topological group and names the first BDD variable on which the two
+    policies disagree, with a witness advertisement. Info severity: the
+    configurations may well be intentional; the report explains why the
+    abstraction is bigger than the topology suggests. *)
+
+val checks : (string * string) list
+
+val run : ?locs:Config_text.loc_table -> Device.network -> Diag.t list

@@ -171,6 +171,7 @@ let xor m a b =
 
 let imp m a b = or_ m (not_ m a) b
 let iff m a b = not_ m (xor m a b)
+let implies m a b = imp m a b == True
 
 let ( &&& ) = and_
 let ( ||| ) = or_

@@ -58,6 +58,14 @@ val or_ : man -> t -> t -> t
 val xor : man -> t -> t -> t
 val imp : man -> t -> t -> t
 val iff : man -> t -> t -> t
+
+val implies : man -> t -> t -> bool
+(** [implies m a b] decides whether [a] covers into [b] — every assignment
+    satisfying [a] satisfies [b] (i.e. [imp m a b] is the constant true).
+    The semantic containment test behind the linter's clause-shadowing and
+    dead-ACL-rule checks. *)
+
+
 val ite : man -> t -> t -> t -> t
 val and_list : man -> t list -> t
 val or_list : man -> t list -> t

@@ -20,6 +20,11 @@ val eq : Bdd.man -> t -> t -> Bdd.t
 
 val eq_const : Bdd.man -> t -> int -> Bdd.t
 
+val ge_const : Bdd.man -> t -> int -> Bdd.t
+(** [ge_const m a k] holds where the vector's unsigned value is at least
+    [k] (false everywhere when [k] does not fit the width). Used by the
+    linter's prefix-length encoding. *)
+
 val ite : Bdd.man -> Bdd.t -> t -> t -> t
 (** [ite m c a b] selects [a] where [c] holds and [b] elsewhere,
     component-wise. *)

@@ -1,1 +1,1 @@
-lib/config/config_text.ml: Acl Array Buffer Device Fun Graph Hashtbl List Multi Option Prefix Printf Route_map String
+lib/config/config_text.ml: Acl Array Buffer Device Fun Graph Hashtbl List Multi Option Prefix Printf Result Route_map String

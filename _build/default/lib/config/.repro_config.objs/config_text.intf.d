@@ -1,1 +1,1 @@
-lib/config/config_text.mli: Device
+lib/config/config_text.mli: Device Route_map

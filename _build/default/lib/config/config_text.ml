@@ -144,10 +144,31 @@ type section =
 
 type pending_clause = {
   pc_seq : int;
+  pc_line : int;
   pc_verdict : Route_map.verdict;
   mutable pc_conds : Route_map.cond list;
   mutable pc_actions : Route_map.action list;
 }
+
+type rm_loc = { rm_line : int; clause_lines : int array }
+
+type loc_table = {
+  router_lines : (string * int) list;
+  route_maps : (string * rm_loc) list;
+  rm_names : (Route_map.t * string) list;
+}
+
+let empty_locs = { router_lines = []; route_maps = []; rm_names = [] }
+
+let router_line locs name = List.assoc_opt name locs.router_lines
+let rm_name_of locs rm = List.assoc_opt rm locs.rm_names
+let rm_loc locs name = List.assoc_opt name locs.route_maps
+
+let clause_line locs name i =
+  match rm_loc locs name with
+  | Some l when i >= 0 && i < Array.length l.clause_lines ->
+    Some l.clause_lines.(i)
+  | _ -> None
 
 let parse text =
   let lines = String.split_on_char '\n' text in
@@ -155,16 +176,18 @@ let parse text =
   let nodes : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let node_order = ref [] in
   let links = ref [] in
-  let route_maps : (string, pending_clause list ref) Hashtbl.t =
+  let route_maps : (string, int * pending_clause list ref) Hashtbl.t =
     Hashtbl.create 16
   in
+  let rm_order = ref [] in
   (* Router bodies are stored raw and resolved once all nodes are known. *)
-  let routers : (string * (int * string list) list) list ref = ref [] in
+  let routers : (string * int * (int * string list) list) list ref = ref [] in
+  let router_header = ref 0 in
   let section = ref S_none in
   let current_clauses : pending_clause list ref ref = ref (ref []) in
   let current_router : (int * string list) list ref = ref [] in
   let flush_router name =
-    routers := (name, List.rev !current_router) :: !routers;
+    routers := (name, !router_header, List.rev !current_router) :: !routers;
     current_router := []
   in
   let close_section () =
@@ -189,13 +212,15 @@ let parse text =
              if Hashtbl.mem route_maps name then
                error lineno "duplicate route-map %s" name;
              let cls = ref [] in
-             Hashtbl.replace route_maps name cls;
+             Hashtbl.replace route_maps name (lineno, cls);
+             rm_order := name :: !rm_order;
              current_clauses := cls;
              section := S_route_map name
            | false, [ "router"; name ] ->
              close_section ();
              if not (Hashtbl.mem nodes name) then
                error lineno "router %s is not a topology node" name;
+             router_header := lineno;
              section := S_router name
            | false, _ -> error lineno "unknown section: %s" line
            | true, toks -> (
@@ -217,12 +242,14 @@ let parse text =
                  match (int_of_string_opt seq, verdict) with
                  | Some seq, "permit" ->
                    cls :=
-                     { pc_seq = seq; pc_verdict = Route_map.Permit;
+                     { pc_seq = seq; pc_line = lineno;
+                       pc_verdict = Route_map.Permit;
                        pc_conds = []; pc_actions = [] }
                      :: !cls
                  | Some seq, "deny" ->
                    cls :=
-                     { pc_seq = seq; pc_verdict = Route_map.Deny;
+                     { pc_seq = seq; pc_line = lineno;
+                       pc_verdict = Route_map.Deny;
                        pc_conds = []; pc_actions = [] }
                      :: !cls
                  | _ -> error lineno "bad clause header: %s" line)
@@ -292,25 +319,29 @@ let parse text =
     (fun (lineno, a, bn) -> Graph.Builder.add_link b (node a lineno) (node bn lineno))
     (List.rev !links);
   let g = Graph.Builder.build b in
-  let finished_rm name lineno =
+  let sorted_clauses name lineno =
     match Hashtbl.find_opt route_maps name with
     | None -> error lineno "unknown route-map %s" name
-    | Some cls ->
-      List.rev !cls
-      |> List.sort (fun a b -> compare a.pc_seq b.pc_seq)
-      |> List.map (fun pc ->
-             {
-               Route_map.verdict = pc.pc_verdict;
-               conds = List.rev pc.pc_conds;
-               actions = List.rev pc.pc_actions;
-             })
+    | Some (header, cls) ->
+      ( header,
+        List.rev !cls
+        |> List.stable_sort (fun a b -> compare a.pc_seq b.pc_seq) )
+  in
+  let finished_rm name lineno =
+    snd (sorted_clauses name lineno)
+    |> List.map (fun pc ->
+           {
+             Route_map.verdict = pc.pc_verdict;
+             conds = List.rev pc.pc_conds;
+             actions = List.rev pc.pc_actions;
+           })
   in
   (* Resolve router bodies. *)
   let router_arr =
     Array.init (Graph.n_nodes g) (fun v -> Device.default_router (Graph.name g v))
   in
   List.iter
-    (fun (name, body) ->
+    (fun (name, _header, body) ->
       let v = node name 0 in
       let r = ref router_arr.(v) in
       let acl_target = ref None in
@@ -432,27 +463,53 @@ let parse text =
       router_arr.(v) <- !r)
     (List.rev !routers);
   let net = { Device.graph = g; routers = router_arr } in
+  let locs =
+    {
+      router_lines =
+        List.rev_map (fun (name, header, _) -> (name, header)) !routers;
+      route_maps =
+        List.rev_map
+          (fun name ->
+            let header, cls = sorted_clauses name 0 in
+            ( name,
+              {
+                rm_line = header;
+                clause_lines =
+                  Array.of_list (List.map (fun pc -> pc.pc_line) cls);
+              } ))
+          !rm_order;
+      rm_names =
+        (* First definition wins when two names share a structure, so
+           lookups by value are deterministic. *)
+        List.rev_map (fun name -> (finished_rm name 0, name)) !rm_order;
+    }
+  in
   match Device.validate net with
-  | Ok () -> net
+  | Ok () -> (net, locs)
   | Error e -> error 0 "invalid network: %s" e
 
-let parse text =
+let parse_with_locs text =
   match parse text with
-  | net -> Ok net
+  | net_locs -> Ok net_locs
   | exception Parse_error (line, msg) ->
     Error (Printf.sprintf "line %d: %s" line msg)
   | exception Invalid_argument msg ->
     (* e.g. a self-loop rejected by the graph builder *)
     Error msg
 
-let load path =
+let parse text = Result.map fst (parse_with_locs text)
+
+let read_file path =
   match open_in path with
   | exception Sys_error e -> Error e
   | ic ->
     let n = in_channel_length ic in
     let s = really_input_string ic n in
     close_in ic;
-    parse s
+    Ok s
+
+let load path = Result.bind (read_file path) parse
+let load_with_locs path = Result.bind (read_file path) parse_with_locs
 
 let save ~path net =
   let oc = open_out path in

@@ -43,6 +43,40 @@ val parse : string -> (Device.network, string) result
 val load : string -> (Device.network, string) result
 (** Read and parse a file. *)
 
+(** {1 Source locations}
+
+    [Device.network] keeps no syntax, so diagnostics over a parsed network
+    would otherwise only name nodes. [parse_with_locs] additionally returns
+    a side table mapping router stanzas, route-map names, and individual
+    clauses back to 1-based source lines; the lint engine threads it
+    through to report [file:line] positions. *)
+
+type rm_loc = {
+  rm_line : int;  (** line of the [route-map NAME] header *)
+  clause_lines : int array;
+      (** line of each clause header, in final (seq-sorted) clause order *)
+}
+
+type loc_table = {
+  router_lines : (string * int) list;  (** router name -> stanza line *)
+  route_maps : (string * rm_loc) list;  (** route-map name -> location *)
+  rm_names : (Route_map.t * string) list;
+      (** parsed route-map value -> its name (first definition wins) *)
+}
+
+val empty_locs : loc_table
+
+val router_line : loc_table -> string -> int option
+val rm_name_of : loc_table -> Route_map.t -> string option
+val rm_loc : loc_table -> string -> rm_loc option
+
+val clause_line : loc_table -> string -> int -> int option
+(** [clause_line locs name i] is the source line of the [i]-th (0-based,
+    seq-sorted) clause of the named route-map. *)
+
+val parse_with_locs : string -> (Device.network * loc_table, string) result
+val load_with_locs : string -> (Device.network * loc_table, string) result
+
 val save : path:string -> Device.network -> unit
 
 val community_to_string : int -> string

@@ -1,0 +1,1 @@
+test/test_lint.ml: Acl Alcotest Array Bdd Bgp Cond_bdd Config_text Device Diag Format Generators Lint List Prefix QCheck QCheck_alcotest Route_map String Synthesis

@@ -1,0 +1,90 @@
+type t = { man : Bdd.man; comms : int array }
+
+let addr_bits = 32
+let len_bits = 6 (* lengths 0..32 *)
+let len_first = addr_bits
+let comm_first = addr_bits + len_bits
+
+let create ~comms =
+  {
+    man = Bdd.man ();
+    comms = Array.of_list (List.sort_uniq Int.compare comms);
+  }
+
+let of_network (net : Device.network) =
+  let matched = ref [] in
+  Array.iter
+    (fun (r : Device.router) ->
+      List.iter
+        (fun (_, (nb : Device.bgp_neighbor)) ->
+          let scan rm = matched := Route_map.communities_matched rm @ !matched in
+          Option.iter scan nb.import_rm;
+          Option.iter scan nb.export_rm)
+        r.bgp_neighbors)
+    net.routers;
+  create ~comms:!matched
+
+let of_route_map rm = create ~comms:(Route_map.communities_matched rm)
+
+let len_vec t = Bvec.of_vars t.man ~first:len_first ~width:len_bits
+
+let addr_in t (p : Prefix.t) =
+  let m = t.man in
+  let acc = ref Bdd.top in
+  for i = 0 to p.Prefix.len - 1 do
+    let v = if Prefix.bit p i then Bdd.var m i else Bdd.nvar m i in
+    acc := Bdd.and_ m !acc v
+  done;
+  !acc
+
+let dest_in t (p : Prefix.t) =
+  Bdd.and_ t.man (Bvec.ge_const t.man (len_vec t) p.Prefix.len) (addr_in t p)
+
+let index_of arr x =
+  let rec go i =
+    if i >= Array.length arr then None
+    else if arr.(i) = x then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let comm t c =
+  match index_of t.comms c with
+  | Some i -> Bdd.var t.man (comm_first + i)
+  | None -> Bdd.bot
+
+let cond t = function
+  | Route_map.Match_community cs ->
+    Bdd.or_list t.man (List.map (comm t) cs)
+  | Route_map.Match_prefix ps ->
+    Bdd.or_list t.man (List.map (dest_in t) ps)
+
+let guard t (cl : Route_map.clause) =
+  Bdd.and_list t.man (List.map (cond t) cl.conds)
+
+let dead_under_cover t guards =
+  let m = t.man in
+  let earlier = ref Bdd.bot in
+  List.mapi
+    (fun i g ->
+      let dead = Bdd.implies m g !earlier in
+      earlier := Bdd.or_ m !earlier g;
+      if dead then Some i else None)
+    guards
+  |> List.filter_map Fun.id
+
+let shadowed t (rm : Route_map.t) =
+  dead_under_cover t (List.map (guard t) rm)
+
+let acl_permits t (acl : Acl.t) =
+  let m = t.man in
+  List.fold_right
+    (fun (rule : Acl.rule) rest ->
+      Bdd.ite m (addr_in t rule.prefix)
+        (if rule.permit then Bdd.top else Bdd.bot)
+        rest)
+    acl Bdd.bot
+
+let acl_dead_rules t (acl : Acl.t) =
+  dead_under_cover t
+    (List.map (fun (rule : Acl.rule) -> addr_in t rule.prefix) acl)

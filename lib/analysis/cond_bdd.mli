@@ -1,0 +1,76 @@
+(** Condition-space BDD encoding for the semantic linter.
+
+    {!Policy_bdd} encodes what a policy {e does} to an advertisement (a
+    relation over attribute fields, specialized to one destination). The
+    linter instead needs what a clause {e matches}: a predicate over the
+    pair (destination prefix, attached communities), with the destination
+    left symbolic so that prefix-list conditions of different clauses can
+    be compared semantically. This module provides that second encoding —
+    the condition-only universe derived the same way as
+    {!Policy_bdd.universe_of_network} collects the community universe.
+
+    Variable layout (one manager per {!t}):
+    - variables [0..31]: destination address bits, most significant first;
+    - variables [32..37]: destination prefix length, a 6-bit vector
+      (least-significant bit first, as in {!Bvec});
+    - variables [38..]: one per community in the universe.
+
+    A destination prefix [d] satisfies [dest_in p] iff [d ⊆ p] — exactly
+    the semantics of {!Route_map.cond_holds} for prefix lists: the length
+    vector must be at least [p]'s length and the first [len p] address
+    bits must agree. Encoding the length (rather than treating
+    destinations as single addresses) is what keeps the shadowing check
+    sound against {!Route_map.eval}, which evaluates route-maps on
+    destination {e prefixes}: a clause matching [10.0.0.0/8] is {e not}
+    covered by clauses matching the two /9 halves, because the /8 itself
+    is a destination neither half contains. *)
+
+type t = { man : Bdd.man; comms : int array }
+
+val create : comms:int list -> t
+(** A universe over the given matchable communities (sorted, deduplicated
+    internally). *)
+
+val of_network : Device.network -> t
+(** Universe over every community matched by some route-map of the
+    network (the same collection {!Policy_bdd.universe_of_network} prunes
+    against). *)
+
+val of_route_map : Route_map.t -> t
+(** Universe over the communities one route-map matches (enough to lint
+    that route-map in isolation). *)
+
+val dest_in : t -> Prefix.t -> Bdd.t
+(** The set of destination prefixes contained in the given prefix. *)
+
+val addr_in : t -> Prefix.t -> Bdd.t
+(** The set of destination {e addresses} inside the prefix (the length
+    variables left free). ACL rules filter traffic, so their semantic
+    domain is addresses; route-map prefix lists match announced prefixes,
+    so theirs is [dest_in]. *)
+
+val comm : t -> int -> Bdd.t
+(** The set of advertisements carrying the community; [Bdd.bot] for a
+    community outside the universe (it can never be attached as far as
+    any match is concerned). *)
+
+val cond : t -> Route_map.cond -> Bdd.t
+(** A single route-map condition (disjunction over its list). *)
+
+val guard : t -> Route_map.clause -> Bdd.t
+(** Conjunction of the clause's conditions (true for an empty list). *)
+
+val shadowed : t -> Route_map.t -> int list
+(** 0-based indices of dead clauses: clause [i] is dead iff the
+    disjunction of clauses [0..i-1]'s guards covers its own guard (a
+    clause with an unsatisfiable guard is dead by the same test).
+    Deleting a dead clause cannot change {!Route_map.eval} on any
+    destination/advertisement pair. *)
+
+val acl_permits : t -> Acl.t -> Bdd.t
+(** The set of destinations an ACL lets through (first-match, implicit
+    deny). *)
+
+val acl_dead_rules : t -> Acl.t -> int list
+(** 0-based indices of ACL rules whose prefix is covered by the union of
+    earlier rules' prefixes — they can never be the first match. *)

@@ -1,0 +1,58 @@
+let checks =
+  [
+    ( "dead-acl-rule",
+      "ACL rule covered by the union of earlier rules (never first match)" );
+    ( "acl-denies-origin",
+      "outbound ACL denies (part of) a prefix the same router originates" );
+  ]
+
+let run ?locs (u : Cond_bdd.t) (net : Device.network) =
+  let g = net.Device.graph in
+  let m = u.Cond_bdd.man in
+  let out = ref [] in
+  let add d = out := d :: !out in
+  Array.iteri
+    (fun v (r : Device.router) ->
+      let router = Graph.name g v in
+      let line = Option.bind locs (fun l -> Config_text.router_line l router) in
+      List.iter
+        (fun (w, acl) ->
+          let neighbor = Graph.name g w in
+          List.iter
+            (fun i ->
+              let rule : Acl.rule = List.nth acl i in
+              add
+                (Diag.make ~check:"dead-acl-rule" ~severity:Diag.Warning
+                   ~loc:
+                     {
+                       (Diag.at_router ~neighbor ?line router) with
+                       Diag.clause = Some i;
+                     }
+                   (Printf.sprintf
+                      "rule %d (%s %s) of the ACL towards %s is dead: \
+                       earlier rules already match every address it matches"
+                      (i + 1)
+                      (if rule.Acl.permit then "permit" else "deny")
+                      (Prefix.to_string rule.Acl.prefix)
+                      neighbor)))
+            (Cond_bdd.acl_dead_rules u acl);
+          let denied = Bdd.not_ m (Cond_bdd.acl_permits u acl) in
+          List.iter
+            (fun p ->
+              let inside = Cond_bdd.addr_in u p in
+              let blocked = Bdd.and_ m inside denied in
+              if not (Bdd.is_bot blocked) then
+                add
+                  (Diag.make ~check:"acl-denies-origin" ~severity:Diag.Error
+                     ~loc:(Diag.at_router ~neighbor ?line router)
+                     (Printf.sprintf
+                        "the ACL towards %s denies %s %s, which this router \
+                         itself originates"
+                        neighbor
+                        (if Bdd.implies m inside denied then "all of"
+                         else "part of")
+                        (Prefix.to_string p))))
+            r.originated)
+        r.acl_out)
+    net.routers;
+  List.rev !out

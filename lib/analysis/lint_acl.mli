@@ -1,0 +1,15 @@
+(** ACL checks: dead rules and ACLs that blackhole the router's own
+    prefixes.
+
+    Both are semantic, over the address-cube encoding of {!Cond_bdd}: a
+    rule is dead iff the union of earlier rules' address sets covers its
+    own (so a rule can be killed by several narrower earlier rules
+    together); an ACL conflicts with an origination when the addresses of
+    an originated prefix are (even partly) denied by an outbound ACL of
+    the same router — traffic the router attracts by announcing the
+    prefix would then be dropped at its own interface. *)
+
+val checks : (string * string) list
+
+val run :
+  ?locs:Config_text.loc_table -> Cond_bdd.t -> Device.network -> Diag.t list

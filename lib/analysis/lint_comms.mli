@@ -1,0 +1,11 @@
+(** Set-but-never-matched communities.
+
+    The compiler's attribute abstraction (paper §8) drops communities no
+    policy matches on; configurations that still {e set} them pay the cost
+    of tagging without any effect on routing. Each such community is
+    reported once, at Info severity, together with every route-map that
+    sets it. *)
+
+val checks : (string * string) list
+
+val run : ?locs:Config_text.loc_table -> Device.network -> Diag.t list

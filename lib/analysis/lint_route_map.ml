@@ -1,0 +1,80 @@
+let checks =
+  [
+    ( "shadowed-clause",
+      "route-map clause covered by the union of earlier clauses' matches" );
+    ( "unsatisfiable-clause",
+      "route-map clause whose conditions can never hold together" );
+  ]
+
+(* Iterate every route-map attached to a BGP session, first occurrence
+   (router order, neighbor order, import before export) per structurally
+   distinct value. *)
+let iter_route_maps (net : Device.network) f =
+  let seen : (Route_map.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let g = net.Device.graph in
+  Array.iteri
+    (fun v (r : Device.router) ->
+      List.iter
+        (fun (u, (nb : Device.bgp_neighbor)) ->
+          let visit dir rm =
+            if not (Hashtbl.mem seen rm) then begin
+              Hashtbl.replace seen rm ();
+              f ~router:(Graph.name g v) ~neighbor:(Graph.name g u) ~dir rm
+            end
+          in
+          Option.iter (visit `Import) nb.import_rm;
+          Option.iter (visit `Export) nb.export_rm)
+        r.bgp_neighbors)
+    net.routers
+
+let clause_loc ?locs ~router ~neighbor rm i =
+  let rm_name = Option.bind locs (fun l -> Config_text.rm_name_of l rm) in
+  let line =
+    match (rm_name, locs) with
+    | Some n, Some l -> Config_text.clause_line l n i
+    | _ -> None
+  in
+  { Diag.router = Some router; neighbor = Some neighbor; rm_name;
+    clause = Some i; line }
+
+let dir_name = function `Import -> "import" | `Export -> "export"
+
+let run ?locs (u : Cond_bdd.t) (net : Device.network) =
+  let out = ref [] in
+  iter_route_maps net (fun ~router ~neighbor ~dir rm ->
+      let guards = List.map (Cond_bdd.guard u) rm in
+      let dead = Cond_bdd.shadowed u rm in
+      List.iter
+        (fun i ->
+          let loc = clause_loc ?locs ~router ~neighbor rm i in
+          let d =
+            if Bdd.is_bot (List.nth guards i) then
+              Diag.make ~check:"unsatisfiable-clause" ~severity:Diag.Warning
+                ~loc
+                (Printf.sprintf
+                   "clause %d of the %s route-map can never match: its \
+                    conditions are mutually exclusive"
+                   (i + 1) (dir_name dir))
+            else
+              (* The clauses that steal its matches: earlier clauses whose
+                 guard intersects this one's. *)
+              let gi = List.nth guards i in
+              let earlier =
+                List.filteri (fun j _ -> j < i) guards
+                |> List.mapi (fun j g -> (j, g))
+                |> List.filter (fun (_, g) ->
+                       not (Bdd.is_bot (Bdd.and_ u.Cond_bdd.man g gi)))
+                |> List.map (fun (j, _) -> string_of_int (j + 1))
+              in
+              Diag.make ~check:"shadowed-clause" ~severity:Diag.Warning ~loc
+                (Printf.sprintf
+                   "clause %d of the %s route-map is dead: every \
+                    advertisement it matches is already matched by clause%s \
+                    %s"
+                   (i + 1) (dir_name dir)
+                   (if List.length earlier = 1 then "" else "s")
+                   (String.concat ", " earlier))
+          in
+          out := d :: !out)
+        dead);
+  List.rev !out

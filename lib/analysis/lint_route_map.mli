@@ -1,0 +1,19 @@
+(** Route-map clause shadowing (semantic dead-clause detection).
+
+    A clause is dead iff the disjunction of the earlier clauses'
+    match-condition BDDs covers its own ({!Cond_bdd.shadowed}) — a purely
+    semantic test over the (destination prefix, communities) condition
+    space, so it catches covers no syntactic comparison of prefix-list or
+    community-list entries sees (e.g. a clause whose matches are split
+    between one earlier clause's community list and another's). Clauses
+    that can never match at all (mutually exclusive conditions) are
+    reported separately. *)
+
+val checks : (string * string) list
+(** Check ids and one-line descriptions contributed by this module. *)
+
+val run :
+  ?locs:Config_text.loc_table -> Cond_bdd.t -> Device.network -> Diag.t list
+(** Each structurally distinct route-map attached to some BGP session is
+    linted once; the diagnostic points at the first (router, neighbor,
+    direction) using it. *)

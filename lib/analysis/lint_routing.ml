@@ -1,0 +1,219 @@
+let checks =
+  [
+    ( "redistribution-cycle",
+      "an OSPF-originated prefix can re-enter its own OSPF domain via BGP" );
+    ( "static-route-blackhole",
+      "static route whose own next-hop interface ACL denies the prefix" );
+    ("static-route-loop", "static routes of several routers form a cycle");
+  ]
+
+(* Connected components over links enabled on both sides. *)
+let components (net : Device.network) enabled =
+  let g = net.Device.graph in
+  let n = Graph.n_nodes g in
+  let comp = Array.make n (-1) in
+  let rec flood c v =
+    if comp.(v) = -1 then begin
+      comp.(v) <- c;
+      Array.iter
+        (fun u -> if enabled v u && enabled u v then flood c u)
+        (Graph.succ g v)
+    end
+  in
+  for v = 0 to n - 1 do
+    if comp.(v) = -1 then flood v v
+  done;
+  comp
+
+(* First-match semantic accept: can the import route-map permit some
+   advertisement of destination [p]? After specializing to [p], guards
+   range over communities only; a Permit clause is reachable iff its
+   guard escapes the union of the earlier ones. *)
+let can_permit (u : Cond_bdd.t) rm ~dest =
+  match rm with
+  | None -> true
+  | Some rm ->
+    let m = u.Cond_bdd.man in
+    let rec go earlier = function
+      | [] -> false
+      | (cl : Route_map.clause) :: rest ->
+        let g = Cond_bdd.guard u cl in
+        let fresh = Bdd.and_ m g (Bdd.not_ m earlier) in
+        if cl.Route_map.verdict = Route_map.Permit && not (Bdd.is_bot fresh)
+        then true
+        else go (Bdd.or_ m earlier g) rest
+    in
+    go Bdd.bot (Route_map.relevant rm ~dest)
+
+let redistribution_cycles ?locs (u : Cond_bdd.t) (net : Device.network) =
+  let g = net.Device.graph in
+  let rs = net.Device.routers in
+  let ospf_comp =
+    components net (fun v w ->
+        Device.ospf_link_config rs.(v) w <> None)
+  in
+  let bgp_comp =
+    components net (fun v w ->
+        Device.bgp_neighbor_config rs.(v) w <> None)
+  in
+  let n = Graph.n_nodes g in
+  let runs_ospf v = rs.(v).Device.ospf_links <> [] in
+  let exports v =
+    runs_ospf v
+    && rs.(v).Device.bgp_neighbors <> []
+    && List.mem Multi.Ospf_into_bgp rs.(v).Device.redistribute
+  in
+  let reinjects v =
+    runs_ospf v
+    && rs.(v).Device.bgp_neighbors <> []
+    && List.mem Multi.Bgp_into_ospf rs.(v).Device.redistribute
+  in
+  (* Originated prefixes per OSPF domain (component of OSPF speakers). *)
+  let domain_prefixes = Hashtbl.create 8 in
+  for v = 0 to n - 1 do
+    if runs_ospf v then
+      List.iter
+        (fun p ->
+          let c = ospf_comp.(v) in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt domain_prefixes c) in
+          Hashtbl.replace domain_prefixes c ((p, v) :: cur))
+        rs.(v).Device.originated
+  done;
+  let out = ref [] in
+  let reported = Hashtbl.create 8 in
+  for a = 0 to n - 1 do
+    if exports a then
+      for b = 0 to n - 1 do
+        if
+          reinjects b && a <> b
+          && ospf_comp.(a) = ospf_comp.(b)
+          && bgp_comp.(a) = bgp_comp.(b)
+          && not (Hashtbl.mem reported (ospf_comp.(a), b))
+        then begin
+          let prefixes =
+            Option.value ~default:[]
+              (Hashtbl.find_opt domain_prefixes ospf_comp.(a))
+          in
+          let accepted =
+            List.find_opt
+              (fun (p, _) ->
+                List.exists
+                  (fun (_, (nb : Device.bgp_neighbor)) ->
+                    can_permit u nb.Device.import_rm ~dest:p)
+                  rs.(b).Device.bgp_neighbors)
+              prefixes
+          in
+          match accepted with
+          | None -> ()
+          | Some (p, origin) ->
+            Hashtbl.replace reported (ospf_comp.(a), b) ();
+            let name = Graph.name g in
+            let router = name b in
+            out :=
+              Diag.make ~check:"redistribution-cycle" ~severity:Diag.Warning
+                ~loc:
+                  (Diag.at_router
+                     ?line:
+                       (Option.bind locs (fun l ->
+                            Config_text.router_line l router))
+                     router)
+                (Printf.sprintf
+                   "%s (originated by %s inside the OSPF domain) is exported \
+                    into BGP at %s and accepted back by this router's BGP \
+                    import, then redistributed into the same OSPF domain — \
+                    a redistribution cycle"
+                   (Prefix.to_string p) (name origin) (name a))
+              :: !out
+        end
+      done
+  done;
+  List.rev !out
+
+let static_checks ?locs (u : Cond_bdd.t) (net : Device.network) =
+  let g = net.Device.graph in
+  let rs = net.Device.routers in
+  let m = u.Cond_bdd.man in
+  let out = ref [] in
+  let loc v nh =
+    let router = Graph.name g v in
+    Diag.at_router
+      ~neighbor:(Graph.name g nh)
+      ?line:(Option.bind locs (fun l -> Config_text.router_line l router))
+      router
+  in
+  (* Blackholes: the route's own interface ACL denies the prefix. *)
+  Array.iteri
+    (fun v (r : Device.router) ->
+      List.iter
+        (fun (p, nh) ->
+          match Device.acl_for r nh with
+          | None -> ()
+          | Some acl ->
+            let inside = Cond_bdd.addr_in u p in
+            let denied = Bdd.not_ m (Cond_bdd.acl_permits u acl) in
+            if not (Bdd.is_bot (Bdd.and_ m inside denied)) then
+              out :=
+                Diag.make ~check:"static-route-blackhole" ~severity:Diag.Error
+                  ~loc:(loc v nh)
+                  (Printf.sprintf
+                     "static route %s via %s, but the ACL on that interface \
+                      denies %s the prefix: matching traffic is dropped at \
+                      this router"
+                     (Prefix.to_string p) (Graph.name g nh)
+                     (if Bdd.implies m inside denied then "all of"
+                      else "part of"))
+                :: !out)
+        r.static_routes)
+    rs;
+  (* Loops: cycles in the covering-static-route graph of some prefix. *)
+  let prefixes =
+    Array.to_list rs
+    |> List.concat_map (fun (r : Device.router) ->
+           List.map fst r.Device.static_routes)
+    |> List.sort_uniq Prefix.compare
+  in
+  let seen_cycle = Hashtbl.create 8 in
+  List.iter
+    (fun q ->
+      let next v = Device.static_next_hops rs.(v) ~dest:q in
+      (* DFS with an explicit color array; report each cycle once. *)
+      let n = Graph.n_nodes g in
+      let color = Array.make n 0 in
+      let rec dfs stack v =
+        if color.(v) = 1 then begin
+          (* back edge: the cycle is the stack suffix from v *)
+          let rec take = function
+            | [] -> []
+            | w :: rest -> if w = v then [ w ] else w :: take rest
+          in
+          let cycle = List.rev (take stack) in
+          let key = List.sort Int.compare cycle in
+          if not (Hashtbl.mem seen_cycle key) then begin
+            Hashtbl.replace seen_cycle key ();
+            let names = List.map (Graph.name g) cycle in
+            let head = List.hd cycle in
+            out :=
+              Diag.make ~check:"static-route-loop" ~severity:Diag.Error
+                ~loc:(loc head (List.nth cycle (1 mod List.length cycle)))
+                (Printf.sprintf
+                   "static routes for %s forward in a cycle: %s -> %s"
+                   (Prefix.to_string q)
+                   (String.concat " -> " names)
+                   (List.hd names))
+              :: !out
+          end
+        end
+        else if color.(v) = 0 then begin
+          color.(v) <- 1;
+          List.iter (fun w -> dfs (v :: stack) w) (next v);
+          color.(v) <- 2
+        end
+      in
+      for v = 0 to n - 1 do
+        dfs [] v
+      done)
+    prefixes;
+  List.rev !out
+
+let run ?locs u net =
+  redistribution_cycles ?locs u net @ static_checks ?locs u net

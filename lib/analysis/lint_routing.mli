@@ -1,0 +1,22 @@
+(** Multi-protocol routing checks: redistribution cycles and broken
+    static routes.
+
+    A redistribution cycle exists when a prefix originated inside an OSPF
+    domain can be exported into BGP at one router ([ospf-into-bgp]),
+    travel the BGP session graph, and be re-injected into the {e same}
+    OSPF domain at a {e different} router ([bgp-into-ospf]) whose BGP
+    import policy semantically accepts the prefix — mutual redistribution
+    at a single border, or re-entry filtered by import route-maps
+    (deny-own-domain filters, as in the WAN network), is fine and not
+    flagged. The accept test is first-match semantic over the condition
+    encoding, not a syntactic scan for permit clauses.
+
+    Static routes are flagged when the router's own outbound ACL on the
+    next-hop interface denies (part of) the routed prefix — the route
+    installs and then blackholes the traffic it attracts — and when the
+    covering static routes of several routers form a forwarding cycle. *)
+
+val checks : (string * string) list
+
+val run :
+  ?locs:Config_text.loc_table -> Cond_bdd.t -> Device.network -> Diag.t list

@@ -1,0 +1,66 @@
+let checks =
+  [
+    ("one-sided-bgp-session", "BGP neighbor configured on one side of a link");
+    ("ibgp-mismatch", "session is iBGP on one side and eBGP on the other");
+    ("one-sided-ospf-link", "OSPF interface configured on one side of a link");
+    ("ospf-area-mismatch", "OSPF areas differ across a link");
+  ]
+
+let run ?locs (net : Device.network) =
+  let g = net.Device.graph in
+  let out = ref [] in
+  let add d = out := d :: !out in
+  let loc v u =
+    let router = Graph.name g v in
+    Diag.at_router
+      ~neighbor:(Graph.name g u)
+      ?line:(Option.bind locs (fun l -> Config_text.router_line l router))
+      router
+  in
+  Graph.iter_edges g (fun v u ->
+      let rv = net.Device.routers.(v) and ru = net.Device.routers.(u) in
+      let nv = Device.bgp_neighbor_config rv u
+      and nu = Device.bgp_neighbor_config ru v in
+      (match (nv, nu) with
+      | Some _, None ->
+        add
+          (Diag.make ~check:"one-sided-bgp-session" ~severity:Diag.Error
+             ~loc:(loc v u)
+             (Printf.sprintf
+                "BGP neighbor %s is configured here, but %s has no matching \
+                 neighbor statement — the session never comes up"
+                (Graph.name g u) (Graph.name g u)))
+      | Some cv, Some cu ->
+        (* Report the mismatch once per link, from the lower endpoint. *)
+        if v < u && cv.Device.ibgp <> cu.Device.ibgp then
+          add
+            (Diag.make ~check:"ibgp-mismatch" ~severity:Diag.Error
+               ~loc:(loc v u)
+               (Printf.sprintf
+                  "session with %s is %s here but %s on the far side"
+                  (Graph.name g u)
+                  (if cv.Device.ibgp then "iBGP" else "eBGP")
+                  (if cu.Device.ibgp then "iBGP" else "eBGP")))
+      | None, _ -> ());
+      let lv = Device.ospf_link_config rv u
+      and lu = Device.ospf_link_config ru v in
+      match (lv, lu) with
+      | Some _, None ->
+        add
+          (Diag.make ~check:"one-sided-ospf-link" ~severity:Diag.Error
+             ~loc:(loc v u)
+             (Printf.sprintf
+                "OSPF is enabled towards %s, but %s does not run OSPF on \
+                 the reverse interface — no adjacency forms"
+                (Graph.name g u) (Graph.name g u)))
+      | Some cv, Some cu ->
+        if v < u && cv.Device.area <> cu.Device.area then
+          add
+            (Diag.make ~check:"ospf-area-mismatch" ~severity:Diag.Error
+               ~loc:(loc v u)
+               (Printf.sprintf
+                  "OSPF link to %s is in area %d here but area %d on the \
+                   far side — the adjacency never forms"
+                  (Graph.name g u) cv.Device.area cu.Device.area))
+      | None, _ -> ());
+  List.rev !out

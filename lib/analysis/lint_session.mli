@@ -1,0 +1,11 @@
+(** Session-symmetry checks.
+
+    BGP sessions and OSPF adjacencies involve both endpoints of a link;
+    these checks flag links where only one side is configured, where the
+    two sides disagree on the session kind ([ibgp] flag), or where the
+    OSPF areas of the two interface configurations differ (the adjacency
+    would never form). *)
+
+val checks : (string * string) list
+
+val run : ?locs:Config_text.loc_table -> Device.network -> Diag.t list

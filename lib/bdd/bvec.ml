@@ -22,6 +22,23 @@ let eq m a b =
 
 let eq_const m a k = eq m a (const m ~width:(Array.length a) k)
 
+let ge_const m a k =
+  if k < 0 then invalid_arg "Bvec.ge_const: negative";
+  let w = Array.length a in
+  if w < 63 && k lsr w <> 0 then Bdd.bot
+  else begin
+    (* MSB-down: ge i decides bits i-1 .. 0 against the low bits of k. *)
+    let rec ge i =
+      if i = 0 then Bdd.top
+      else
+        let bit = (k lsr (i - 1)) land 1 = 1 in
+        let rest = ge (i - 1) in
+        if bit then Bdd.and_ m a.(i - 1) rest
+        else Bdd.or_ m a.(i - 1) rest
+    in
+    ge w
+  end
+
 let ite m c a b =
   if Array.length a <> Array.length b then invalid_arg "Bvec.ite: width mismatch";
   Array.init (Array.length a) (fun i -> Bdd.ite m c a.(i) b.(i))
