@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- --help
 
    Subcommands: table1a table1b figure11 figure12 batfish-query
-   ablation-bdd ablation-uu micro all.
+   ablation-bdd ablation-uu faults micro all.
 
    Absolute numbers differ from the paper (different hardware, an
    explicit-state analysis client instead of SMT); EXPERIMENTS.md records
@@ -333,6 +333,36 @@ let ablation_uu () =
     (Abstraction.n_abstract naive) (all_ok naive) (List.length sols)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection throughput                                          *)
+(* ------------------------------------------------------------------ *)
+
+let faults ?samples () =
+  hr "Fault injection: re-solving under failure scenarios (k=2)";
+  Printf.printf "%-20s %8s %10s %10s %8s %8s %14s\n" "Topology" "links"
+    "scenarios" "mode" "disc." "div." "scenarios/sec";
+  Printf.printf "%s\n" (String.make 84 '-');
+  let row name (net : Device.network) =
+    let ec = List.hd (Ecs.compute net) in
+    let dest = Ecs.single_origin ec in
+    let srp = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
+    let plan = Fault_engine.plan ?samples ~k:2 net.Device.graph in
+    let r = Fault_engine.survey srp plan in
+    let n = List.length plan.Fault_engine.scenarios in
+    Printf.printf "%-20s %8d %10d %10s %8d %8d %14.0f\n%!" name
+      (Graph.n_links net.Device.graph)
+      n
+      (if plan.Fault_engine.exhaustive then "exhaustive" else "sampled")
+      r.Fault_engine.n_disconnected r.Fault_engine.n_diverged
+      (float_of_int n /. max 1e-9 r.Fault_engine.time_s)
+  in
+  row "Fattree (k=4)"
+    (Synthesis.fattree_shortest_path (Generators.fattree ~k:4));
+  row "Fattree (k=8)"
+    (Synthesis.fattree_shortest_path (Generators.fattree ~k:8));
+  row "Ring (n=50)" (Synthesis.ring_bgp ~n:50);
+  row "Full mesh (n=20)" (Synthesis.mesh_bgp ~n:20)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core kernels                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,17 +448,23 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench/main.exe \
-       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|micro|all] \
-       [--timeout SECONDS]";
+       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|micro|all] \
+       [--timeout SECONDS] [--samples N]";
     exit 2
   in
   let args = Array.to_list Sys.argv |> List.tl in
   let timeout_s = ref 60.0 in
+  let samples = ref None in
   let rec parse cmds = function
     | [] -> List.rev cmds
     | "--timeout" :: v :: rest ->
       (match float_of_string_opt v with
       | Some t -> timeout_s := t
+      | None -> usage ());
+      parse cmds rest
+    | "--samples" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n -> samples := Some n
       | None -> usage ());
       parse cmds rest
     | "--help" :: _ | "-h" :: _ -> usage ()
@@ -445,6 +481,7 @@ let () =
       | "batfish-query" -> batfish_query ()
       | "ablation-bdd" -> ablation_bdd ()
       | "ablation-uu" -> ablation_uu ()
+      | "faults" -> faults ?samples:!samples ()
       | "micro" -> micro ()
       | "all" -> all ~timeout_s:!timeout_s ()
       | _ -> usage ())

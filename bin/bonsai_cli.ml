@@ -244,6 +244,187 @@ let trace_cmd_run net src_name addr all =
   if all then List.iter show (Dataplane.trace_all dp ~src addr)
   else show (Dataplane.trace dp ~src addr)
 
+(* --- faults ------------------------------------------------------------ *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let scenario_json ~names (sc : Scenario.t) =
+  let parts =
+    List.map
+      (fun (u, v) -> json_string (Printf.sprintf "%s-%s" (names u) (names v)))
+      sc.Scenario.down_links
+    @ List.map
+        (fun u -> json_string (Printf.sprintf "node:%s" (names u)))
+        sc.Scenario.down_nodes
+  in
+  "[" ^ String.concat "," parts ^ "]"
+
+let faults_cmd_run net ec_prefix k samples seed format =
+  let ec = find_ec net ec_prefix in
+  let dest = Ecs.single_origin ec in
+  let g = net.Device.graph in
+  let name = Graph.name g in
+  let srp = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
+  let plan = Fault_engine.plan ?samples ~seed ~k g in
+  let report = Fault_engine.survey srp plan in
+  let r = Bonsai_api.compress_ec net ec in
+  let t = r.Bonsai_api.abstraction in
+  let abs_name = Graph.name t.Abstraction.abs_graph in
+  let break_ =
+    Soundness.first_break t ~concrete:srp
+      ~abstract_:(Abstraction.bgp_srp t) plan.Fault_engine.scenarios
+  in
+  let n_scenarios = List.length plan.Fault_engine.scenarios in
+  let disconnected =
+    List.filter_map
+      (function
+        | sc, Fault_engine.Disconnected (_, stranded) -> Some (sc, stranded)
+        | _ -> None)
+      report.Fault_engine.outcomes
+  in
+  let diverged =
+    List.filter_map
+      (function
+        | sc, Fault_engine.Diverged d -> Some (sc, d) | _ -> None)
+      report.Fault_engine.outcomes
+  in
+  let pp_sc = Scenario.pp ~names:name in
+  let side reaches stable =
+    if not stable then "diverged"
+    else if reaches then "reaches"
+    else "does not reach"
+  in
+  (match format with
+  | `Text ->
+    Format.printf "destination %a (originated at %s)@." Prefix.pp
+      ec.Ecs.ec_prefix (name dest);
+    Format.printf "topology: %d nodes, %d links@." (Graph.n_nodes g)
+      (Graph.n_links g);
+    Format.printf "scenarios: %d (%s, up to %d failed link%s)@." n_scenarios
+      (if plan.Fault_engine.exhaustive then "exhaustive" else "sampled")
+      k
+      (if k = 1 then "" else "s");
+    Format.printf "  stable & reachable: %d@." report.Fault_engine.n_stable;
+    Format.printf "  disconnected:       %d@."
+      report.Fault_engine.n_disconnected;
+    Format.printf "  diverged:           %d@." report.Fault_engine.n_diverged;
+    let cap = 12 in
+    if disconnected <> [] then begin
+      Format.printf "disconnected scenarios%s:@."
+        (if List.length disconnected > cap then
+           Printf.sprintf " (first %d of %d)" cap (List.length disconnected)
+         else "");
+      List.iteri
+        (fun i (sc, stranded) ->
+          if i < cap then
+            Format.printf "  %a: %d stranded (%s%s)@." pp_sc sc
+              (List.length stranded)
+              (String.concat ", "
+                 (List.map name (List.filteri (fun i _ -> i < 6) stranded)))
+              (if List.length stranded > 6 then ", ..." else ""))
+        disconnected
+    end;
+    if diverged <> [] then begin
+      Format.printf "diverged scenarios%s:@."
+        (if List.length diverged > cap then
+           Printf.sprintf " (first %d of %d)" cap (List.length diverged)
+         else "");
+      List.iteri
+        (fun i (sc, (d : _ Solver.diagnosis)) ->
+          if i < cap then
+            Format.printf "  %a: %a@." pp_sc sc
+              (Solver.pp_verdict
+                 ~graph:d.Solver.diag_sol.Solution.srp.Srp.graph)
+              d.Solver.diag_verdict)
+        diverged
+    end;
+    Format.printf "abstraction: %d nodes, %d links@." (Abstraction.n_abstract t)
+      (Graph.n_links t.Abstraction.abs_graph);
+    (match break_ with
+    | None ->
+      Format.printf
+        "  fault soundness: ok (verdicts agree on every scenario)@."
+    | Some (sc, m) ->
+      Format.printf "  fault soundness: BROKEN@.";
+      Format.printf "  minimal failing scenario: %a@." pp_sc sc;
+      Format.printf
+        "  first diverging pair: %s vs %s (concrete %s, abstract %s)@."
+        (name m.Soundness.mis_node)
+        (abs_name m.Soundness.mis_abs)
+        (side m.Soundness.concrete_reaches m.Soundness.concrete_stable)
+        (side m.Soundness.abstract_reaches m.Soundness.abstract_stable))
+  | `Json ->
+    let verdict_json (d : _ Solver.diagnosis) =
+      match d.Solver.diag_verdict with
+      | Solver.Oscillation { period; participants } ->
+        Printf.sprintf
+          "\"verdict\":\"oscillation\",\"period\":%d,\"participants\":[%s]"
+          period
+          (String.concat ","
+             (List.map (fun u -> json_string (name u)) participants))
+      | Solver.Likely_convergent -> "\"verdict\":\"likely-convergent\""
+      | Solver.Inconclusive rounds ->
+        Printf.sprintf "\"verdict\":\"inconclusive\",\"rounds\":%d" rounds
+    in
+    Format.printf "{@.";
+    Format.printf "  \"destination\": %s,@."
+      (json_string (Format.asprintf "%a" Prefix.pp ec.Ecs.ec_prefix));
+    Format.printf "  \"nodes\": %d, \"links\": %d,@." (Graph.n_nodes g)
+      (Graph.n_links g);
+    Format.printf "  \"k\": %d, \"mode\": %s, \"scenarios\": %d,@." k
+      (json_string
+         (if plan.Fault_engine.exhaustive then "exhaustive" else "sampled"))
+      n_scenarios;
+    Format.printf "  \"stable\": %d,@." report.Fault_engine.n_stable;
+    Format.printf "  \"disconnected\": [%s],@."
+      (String.concat ","
+         (List.map
+            (fun (sc, stranded) ->
+              Printf.sprintf "{\"scenario\":%s,\"stranded\":[%s]}"
+                (scenario_json ~names:name sc)
+                (String.concat ","
+                   (List.map (fun u -> json_string (name u)) stranded)))
+            disconnected));
+    Format.printf "  \"diverged\": [%s],@."
+      (String.concat ","
+         (List.map
+            (fun (sc, d) ->
+              Printf.sprintf "{\"scenario\":%s,%s}"
+                (scenario_json ~names:name sc)
+                (verdict_json d))
+            diverged));
+    Format.printf "  \"abstraction\": {\"nodes\": %d, %s}@."
+      (Abstraction.n_abstract t)
+      (match break_ with
+      | None -> "\"sound\": true"
+      | Some (sc, m) ->
+        Printf.sprintf
+          "\"sound\": false, \"minimal_scenario\": %s, \"node\": %s, \
+           \"abs_node\": %s, \"concrete_reaches\": %b, \
+           \"abstract_reaches\": %b"
+          (scenario_json ~names:name sc)
+          (json_string (name m.Soundness.mis_node))
+          (json_string (abs_name m.Soundness.mis_abs))
+          m.Soundness.concrete_reaches m.Soundness.abstract_reaches);
+    Format.printf "}@.");
+  Printf.eprintf "%d scenarios in %.3fs (%.0f scenarios/sec)\n" n_scenarios
+    report.Fault_engine.time_s
+    (float_of_int n_scenarios /. max 1e-9 report.Fault_engine.time_s);
+  if
+    report.Fault_engine.n_disconnected + report.Fault_engine.n_diverged > 0
+    || break_ <> None
+  then exit 1
+
 (* --- explain ----------------------------------------------------------- *)
 
 let explain_cmd_run net a_name b_name ec_prefix =
@@ -462,6 +643,45 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Explain why two routers play different roles")
     Term.(const explain_cmd_run $ network_arg $ a_arg $ b_arg $ ec_arg)
 
+let faults_cmd =
+  let k =
+    Arg.(
+      value & opt int 1
+      & info [ "k"; "kmax" ] ~docv:"K"
+          ~doc:
+            "Maximum number of simultaneous link failures (also reachable as \
+             the prefix $(b,--k)).")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ] ~docv:"N"
+          ~doc:
+            "Force sampling with N scenarios (default: exhaustive when the \
+             scenario space is small, 256 samples otherwise).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format (text|json).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Re-solve the network under link-failure scenarios and check the \
+          abstraction stays sound under each (exit 1 iff any scenario \
+          disconnects a router, diverges, or breaks the abstraction)")
+    Term.(
+      const faults_cmd_run $ network_arg $ ec_arg $ k $ samples $ seed
+      $ format)
+
 let export_cmd =
   let path =
     Arg.(
@@ -485,4 +705,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc)
-          [ info_cmd; compress_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd ]))
+          [ info_cmd; compress_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd ]))

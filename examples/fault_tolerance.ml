@@ -1,30 +1,14 @@
-(* What compression does NOT preserve (paper §4.5).
+(* What compression does NOT preserve (paper §4.5 / §9).
 
    Effective abstractions reduce the number of paths and neighbors — that
    is the point — so fault-tolerance properties are lost: a single link
    failure can partition the abstract network while the concrete network
-   routes around it. This example demonstrates the caveat so users do not
-   draw the wrong conclusion from the compressed network.
+   routes around it. The fault-injection engine (lib/faults) makes the
+   caveat operational: it enumerates failure scenarios, re-solves both
+   networks per scenario, and reports the *minimal* failure set under
+   which the abstraction stops being sound.
 
    Run with: dune exec examples/fault_tolerance.exe *)
-
-let remove_link g (a, b) =
-  let bld = Graph.Builder.create () in
-  for v = 0 to Graph.n_nodes g - 1 do
-    ignore (Graph.Builder.add_node bld (Graph.name g v))
-  done;
-  List.iter
-    (fun (u, v) ->
-      if not ((u = a && v = b) || (u = b && v = a)) then
-        Graph.Builder.add_edge bld u v)
-    (Graph.edges g);
-  Graph.Builder.build bld
-
-let reachable_count srp =
-  let sol = Solver.solve_exn srp in
-  List.init (Graph.n_nodes srp.Srp.graph) Fun.id
-  |> List.filter (Properties.reachable sol)
-  |> List.length
 
 let () =
   let ft = Generators.fattree ~k:4 in
@@ -36,32 +20,59 @@ let () =
   Format.printf "fattree k=4: %d nodes -> %d abstract nodes@.@."
     (Graph.n_nodes g) (Abstraction.n_abstract t);
 
-  (* Fail one concrete aggregation-core link. *)
-  let agg = ft.Generators.ft_agg.(0) in
-  let core =
-    Array.to_list (Graph.succ g agg)
-    |> List.find (fun v -> ft.Generators.ft_pod.(v) = -1)
-  in
-  let g' = remove_link g (agg, core) in
-  let srp' = Rip.make g' ~dest in
-  Format.printf "concrete network after failing link %s--%s:@."
-    (Graph.name g agg) (Graph.name g core);
-  Format.printf "  %d/%d routers still reach the destination@."
-    (reachable_count srp') (Graph.n_nodes g');
+  (* 1. Quantify over single-link failures of the concrete network. *)
+  let srp = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
+  let plan = Fault_engine.plan ~k:1 g in
+  let report = Fault_engine.survey srp plan in
+  Format.printf
+    "concrete network, all %d single-link failures: %d stable & reachable, \
+     %d disconnected, %d diverged@."
+    (List.length plan.Fault_engine.scenarios)
+    report.Fault_engine.n_stable report.Fault_engine.n_disconnected
+    report.Fault_engine.n_diverged;
 
-  (* Fail the corresponding abstract link. *)
-  let ag = t.Abstraction.abs_graph in
-  let a_agg = Abstraction.f t agg and a_core = Abstraction.f t core in
-  let ag' = remove_link ag (a_agg, a_core) in
-  let abs_srp' = Rip.make ag' ~dest:t.Abstraction.abs_dest in
-  Format.printf "abstract network after failing link %s--%s:@."
-    (Graph.name ag a_agg) (Graph.name ag a_core);
-  Format.printf "  %d/%d abstract routers still reach the destination@.@."
-    (reachable_count abs_srp') (Graph.n_nodes ag');
+  (* 2. The same quantifier phrased as a property check: reachability
+     holds under every single failure, and the engine shrinks any
+     counterexample before reporting it. *)
+  (match
+     Robust.for_all_failures ~k:1 srp (fun sol ->
+         List.init (Graph.n_nodes g) Fun.id
+         |> List.for_all (fun u -> u = dest || Solution.reaches sol u))
+   with
+  | Robust.Fault_holds { scenarios; _ } ->
+    Format.printf "  reachability survives every scenario (%d checked)@.@."
+      scenarios
+  | Robust.Fault_fails (sc, _) ->
+    Format.printf "  minimal failure set breaking reachability: %a@.@."
+      (Scenario.pp ~names:(Graph.name g))
+      sc
+  | Robust.Fault_diverges (sc, _) ->
+    Format.printf "  minimal failure set breaking convergence: %a@.@."
+      (Scenario.pp ~names:(Graph.name g))
+      sc);
+
+  (* 3. Ask where the abstraction itself stops telling the truth: map
+     each scenario through f, re-solve both sides, compare verdicts. *)
+  (match
+     Soundness.first_break t ~concrete:srp
+       ~abstract_:(Abstraction.bgp_srp t) plan.Fault_engine.scenarios
+   with
+  | None -> Format.printf "abstraction agrees on every scenario@."
+  | Some (sc, m) ->
+    Format.printf "abstraction breaks under the single failure %a:@."
+      (Scenario.pp ~names:(Graph.name g))
+      sc;
+    Format.printf
+      "  %s still reaches the destination, its abstract image %s does not@.@."
+      (Graph.name g m.Soundness.mis_node)
+      (Graph.name t.Abstraction.abs_graph m.Soundness.mis_abs));
 
   Format.printf
     "The concrete fattree routes around any single failure; the 6-node@.";
   Format.printf
     "abstraction is partitioned by one. Compression preserves path@.";
   Format.printf
-    "properties of the working network, not fault tolerance (paper §4.5).@."
+    "properties of the working network, not fault tolerance (paper §4.5).@.";
+  Format.printf
+    "To trust a property under failures, re-check it per scenario:@.";
+  Format.printf "  bonsai faults fattree:4 --k 1@."

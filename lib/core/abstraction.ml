@@ -21,6 +21,21 @@ let repr_of_abs t a =
   | m :: _ -> m
   | [] -> invalid_arg "Abstraction.repr_of_abs: empty group"
 
+let node_image t u =
+  let g = t.group_of.(u) in
+  List.init t.copies.(g) (fun i -> t.abs_of_group.(g) + i)
+
+let link_image t (u, v) =
+  let gu = t.group_of.(u) and gv = t.group_of.(v) in
+  if gu = gv then []
+  else
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b -> if Graph.has_edge t.abs_graph a b then Some (a, b) else None)
+          (node_image t v))
+      (node_image t u)
+
 (* Group-level edge representatives, computed once. *)
 let group_edge_reprs (net : Device.network) group_of =
   let reprs = Hashtbl.create 256 in

@@ -47,6 +47,20 @@ val members_of_abs : t -> int -> int list
 val repr_of_abs : t -> int -> int
 (** The least concrete member, used as the group representative. *)
 
+val node_image : t -> int -> int list
+(** Every abstract copy of the node's group. Failing a concrete node is
+    modeled (conservatively) by failing all of them; with one copy this is
+    just [[f t u]]. *)
+
+val link_image : t -> int * int -> (int * int) list
+(** The abstract edges standing for a concrete edge [(u, v)]: all
+    copy-pairs of the two groups that are adjacent in the abstract
+    topology. Empty for intra-group links (they have no abstract
+    counterpart). An abstract edge represents {e every} concrete edge
+    between the two groups, so failing the image of one concrete link fails
+    more than that link — exactly the lossiness {!Soundness} (lib/faults)
+    measures per failure scenario (paper §9 limitation). *)
+
 val repr_edge : t -> int -> int -> int * int
 (** [repr_edge t û v̂] is a concrete edge [(u, v)] with [u 7→ û], [v 7→ v̂]
     (groups taken up to copies). @raise Not_found if no such edge. *)

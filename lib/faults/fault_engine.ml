@@ -1,0 +1,62 @@
+type 'a outcome =
+  | Stable of 'a Solution.t
+  | Disconnected of 'a Solution.t * int list
+  | Diverged of 'a Solver.diagnosis
+
+let survives sc ~dest = not (Scenario.mem_node sc dest)
+
+let derive (srp : 'a Srp.t) sc =
+  Srp.map_graph srp (Scenario.apply srp.Srp.graph sc) ~dest:srp.Srp.dest
+
+let run ?max_steps (srp : 'a Srp.t) sc =
+  let srp' = derive srp sc in
+  match Solver.solve ?max_steps srp' with
+  | Error (`Diverged d) -> Diverged d
+  | Ok (sol, _) ->
+    let n = Graph.n_nodes srp'.Srp.graph in
+    let stranded = ref [] in
+    for u = n - 1 downto 0 do
+      if u <> srp'.Srp.dest && (not (Scenario.mem_node sc u))
+         && not (Solution.reaches sol u)
+      then stranded := u :: !stranded
+    done;
+    if !stranded = [] then Stable sol else Disconnected (sol, !stranded)
+
+type plan = { scenarios : Scenario.t list; exhaustive : bool }
+
+let plan ?(budget = 1024) ?samples ?(seed = 0) ~k g =
+  match samples with
+  | Some samples ->
+    { scenarios = Scenario.sample ~k ~samples ~seed g; exhaustive = false }
+  | None ->
+    if Scenario.count ~k g <= budget then
+      { scenarios = Scenario.enumerate ~k g; exhaustive = true }
+    else
+      {
+        scenarios = Scenario.sample ~k ~samples:256 ~seed g;
+        exhaustive = false;
+      }
+
+type 'a report = {
+  plan : plan;
+  outcomes : (Scenario.t * 'a outcome) list;
+  n_stable : int;
+  n_disconnected : int;
+  n_diverged : int;
+  time_s : float;
+}
+
+let survey ?max_steps (srp : 'a Srp.t) plan =
+  let t0 = Timing.now () in
+  let outcomes =
+    List.map (fun sc -> (sc, run ?max_steps srp sc)) plan.scenarios
+  in
+  let count p = List.length (List.filter (fun (_, o) -> p o) outcomes) in
+  {
+    plan;
+    outcomes;
+    n_stable = count (function Stable _ -> true | _ -> false);
+    n_disconnected = count (function Disconnected _ -> true | _ -> false);
+    n_diverged = count (function Diverged _ -> true | _ -> false);
+    time_s = Timing.now () -. t0;
+  }

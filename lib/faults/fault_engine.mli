@@ -1,0 +1,48 @@
+(** Re-solving an SRP under failure scenarios.
+
+    For each scenario the surviving SRP is derived (same attributes,
+    transfer and preference — only the topology shrinks) and re-solved, and
+    the outcome classified: converged with full reachability, converged but
+    with stranded nodes, or diverged (with the solver's structured
+    diagnosis — perturbing a topology can destroy convergence, cf. "Routing
+    Regardless of Network Stability"). *)
+
+type 'a outcome =
+  | Stable of 'a Solution.t
+      (** stable; every surviving non-destination node reaches the
+          destination *)
+  | Disconnected of 'a Solution.t * int list
+      (** stable, but these surviving nodes do not reach the destination *)
+  | Diverged of 'a Solver.diagnosis
+
+val survives : Scenario.t -> dest:int -> bool
+(** The destination itself is not downed (otherwise every verdict is
+    trivially [Disconnected]). *)
+
+val derive : 'a Srp.t -> Scenario.t -> 'a Srp.t
+(** The surviving SRP: {!Scenario.apply} on the topology, everything else
+    unchanged. *)
+
+val run : ?max_steps:int -> 'a Srp.t -> Scenario.t -> 'a outcome
+
+type plan = { scenarios : Scenario.t list; exhaustive : bool }
+
+val plan :
+  ?budget:int -> ?samples:int -> ?seed:int -> k:int -> Graph.t -> plan
+(** Scenario selection: enumerate all link scenarios up to [k] failures
+    when there are at most [budget] (default 1024) of them and [samples]
+    was not forced; otherwise importance-sample [samples] (default 256)
+    scenarios, cut links first ({!Scenario.sample}). *)
+
+type 'a report = {
+  plan : plan;
+  outcomes : (Scenario.t * 'a outcome) list;
+  n_stable : int;
+  n_disconnected : int;
+  n_diverged : int;
+  time_s : float;  (** wall clock for solving all scenarios *)
+}
+
+val survey : ?max_steps:int -> 'a Srp.t -> plan -> 'a report
+(** Run every planned scenario ([scenarios/sec = List.length outcomes /.
+    time_s] is the bench metric). *)

@@ -1,0 +1,59 @@
+type mismatch = {
+  mis_node : int;
+  mis_abs : int;
+  concrete_reaches : bool;
+  abstract_reaches : bool;
+  concrete_stable : bool;
+  abstract_stable : bool;
+}
+
+let abstract_scenario (t : Abstraction.t) sc =
+  Scenario.make
+    ~nodes:(List.concat_map (Abstraction.node_image t) sc.Scenario.down_nodes)
+    (List.concat_map (Abstraction.link_image t) sc.Scenario.down_links)
+
+(* reachability vector of a re-solved SRP; divergence reaches nothing *)
+let solve_reaches ?max_steps (srp : 'a Srp.t) sc =
+  match Fault_engine.run ?max_steps srp sc with
+  | Fault_engine.Stable sol -> (true, fun u -> u = srp.Srp.dest || Solution.reaches sol u)
+  | Fault_engine.Disconnected (sol, _) ->
+    (true, fun u -> u = srp.Srp.dest || Solution.reaches sol u)
+  | Fault_engine.Diverged _ -> (false, fun u -> u = srp.Srp.dest)
+
+let check ?max_steps (t : Abstraction.t) ~(concrete : 'a Srp.t)
+    ~(abstract_ : 'b Srp.t) sc =
+  let abs_sc = abstract_scenario t sc in
+  let concrete_stable, c_reaches = solve_reaches ?max_steps concrete sc in
+  let abstract_stable, a_reaches = solve_reaches ?max_steps abstract_ abs_sc in
+  let n = Graph.n_nodes concrete.Srp.graph in
+  let rec scan u =
+    if u >= n then None
+    else if Scenario.mem_node sc u then scan (u + 1)
+    else begin
+      let rc = c_reaches u in
+      let copies = Abstraction.node_image t u in
+      (* any copy agreeing keeps the abstraction defensible: the
+         per-solution refinement f_r is free to pick that copy *)
+      if List.exists (fun a -> a_reaches a = rc) copies then scan (u + 1)
+      else
+        Some
+          {
+            mis_node = u;
+            mis_abs = Abstraction.f t u;
+            concrete_reaches = rc;
+            abstract_reaches = a_reaches (Abstraction.f t u);
+            concrete_stable;
+            abstract_stable;
+          }
+    end
+  in
+  scan 0
+
+let first_break ?max_steps t ~concrete ~abstract_ scenarios =
+  let fails sc = check ?max_steps t ~concrete ~abstract_ sc <> None in
+  List.find_opt fails scenarios
+  |> Option.map (fun sc ->
+         let minimal = Scenario.shrink fails sc in
+         match check ?max_steps t ~concrete ~abstract_ minimal with
+         | Some m -> (minimal, m)
+         | None -> assert false)

@@ -1,0 +1,51 @@
+(** Abstraction soundness under failures (paper §9 limitation).
+
+    A Bonsai abstraction is computed for the {e intact} topology: one
+    abstract node stands for many concrete nodes, one abstract edge for
+    many concrete links. Under failures the two networks can drift apart —
+    the canonical example is a fattree whose 6-node abstraction is
+    partitioned by a single link failure the concrete network routes
+    around. This module makes that drift observable: map a failure
+    scenario through the abstraction functions, re-solve both sides, and
+    compare per-node reachability verdicts. *)
+
+type mismatch = {
+  mis_node : int;  (** concrete node whose verdict differs *)
+  mis_abs : int;  (** the abstract copy it was compared against *)
+  concrete_reaches : bool;
+  abstract_reaches : bool;
+  concrete_stable : bool;  (** the re-solved concrete SRP converged *)
+  abstract_stable : bool;
+}
+
+val abstract_scenario : Abstraction.t -> Scenario.t -> Scenario.t
+(** The failure set mapped through [f]: downed links through
+    {!Abstraction.link_image} (intra-group links vanish), downed nodes
+    through {!Abstraction.node_image}. *)
+
+val check :
+  ?max_steps:int ->
+  Abstraction.t ->
+  concrete:'a Srp.t ->
+  abstract_:'b Srp.t ->
+  Scenario.t ->
+  mismatch option
+(** Re-solve both networks under the scenario (a diverged side counts as
+    reaching nothing, as in {!Reachability}) and return the first concrete
+    node [u] — lowest id, skipping downed nodes — whose reachability
+    disagrees with {e every} abstract copy of its group (the per-solution
+    refinement may map [u] to any copy, so disagreement with all of them is
+    what rules out a refinement that saves the abstraction). [None]: the
+    abstraction answered this scenario's reachability queries correctly. *)
+
+val first_break :
+  ?max_steps:int ->
+  Abstraction.t ->
+  concrete:'a Srp.t ->
+  abstract_:'b Srp.t ->
+  Scenario.t list ->
+  (Scenario.t * mismatch) option
+(** The first scenario (in list order) where {!check} reports a mismatch,
+    greedily shrunk ({!Scenario.shrink}) to a 1-minimal failing failure
+    set — the counterexample an operator can act on. The returned mismatch
+    is re-computed on the shrunk scenario. *)

@@ -2,6 +2,17 @@ type 'a t = { srp : 'a Srp.t; labels : 'a option array }
 
 let label s u = s.labels.(u)
 
+let equal_labels s s' =
+  let eq = s.srp.Srp.attr_equal in
+  Array.length s.labels = Array.length s'.labels
+  && Array.for_all2
+       (fun a b ->
+         match (a, b) with
+         | None, None -> true
+         | Some a, Some b -> eq a b
+         | _ -> false)
+       s.labels s'.labels
+
 let choices s u =
   let srp = s.srp in
   Array.to_list (Graph.succ srp.Srp.graph u)

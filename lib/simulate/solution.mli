@@ -5,6 +5,11 @@ type 'a t = { srp : 'a Srp.t; labels : 'a option array }
 
 val label : 'a t -> int -> 'a option
 
+val equal_labels : 'a t -> 'a t -> bool
+(** Pointwise equality of the two labelings under the SRP's [attr_equal]
+    (never polymorphic [=]: attributes may have non-structural equality, or
+    contain closures that [=] refuses to compare). *)
+
 val choices : 'a t -> int -> ((int * int) * 'a) list
 (** [choices s u] — the paper's [choices_L(u)]: pairs of an edge [(u, v)]
     and the attribute [trans((u,v), L(v))], for attributes that are not

@@ -1,5 +1,21 @@
 type stats = { steps : int; updates : int }
 
+type cycle = { period : int; participants : int list }
+
+type verdict =
+  | Oscillation of cycle
+  | Likely_convergent
+  | Inconclusive of int
+
+type 'a diagnosis = {
+  diag_sol : 'a Solution.t;
+  diag_steps : int;
+  diag_trace : (int * 'a option) list;
+  diag_verdict : verdict;
+}
+
+let trace_cap = 32
+
 let shuffle rng a =
   for i = Array.length a - 1 downto 1 do
     let j = Random.State.int rng (i + 1) in
@@ -8,7 +24,82 @@ let shuffle rng a =
     a.(j) <- t
   done
 
-let solve ?(seed = 0) ?max_steps (srp : 'a Srp.t) =
+let label_equal (srp : 'a Srp.t) a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> srp.Srp.attr_equal a b
+  | _ -> false
+
+(* Post-mortem analysis of an unstable labeling: iterate a deterministic
+   synchronous-in-order (Gauss-Seidel) sweep and watch for a repeated label
+   vector. The sweep is a function on a finite state space for protocols
+   with loop prevention, so a true oscillation must revisit a state; a
+   fixed point instead means the labeling is actually stable and only the
+   step budget was too small. *)
+let diagnose (srp : 'a Srp.t) (labels : 'a option array) ~rounds =
+  let g = srp.Srp.graph in
+  let n = Graph.n_nodes g in
+  let best u =
+    let best = ref None in
+    Array.iter
+      (fun v ->
+        match srp.Srp.trans u v labels.(v) with
+        | None -> ()
+        | Some a -> (
+          match !best with
+          | None -> best := Some a
+          | Some b -> if srp.Srp.compare a b < 0 then best := Some a))
+      (Graph.succ g u);
+    !best
+  in
+  let vec_equal a b =
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      if not (label_equal srp a.(u) b.(u)) then ok := false
+    done;
+    !ok
+  in
+  (* snaps.(r) is the label vector after r sweeps *)
+  let snaps = ref [ Array.copy labels ] (* newest first *) in
+  let result = ref None in
+  let r = ref 0 in
+  while !result = None && !r < rounds do
+    incr r;
+    let changed = ref false in
+    for u = 0 to n - 1 do
+      if u <> srp.Srp.dest then begin
+        let b = best u in
+        if not (label_equal srp labels.(u) b) then begin
+          labels.(u) <- b;
+          changed := true
+        end
+      end
+    done;
+    if not !changed then result := Some Likely_convergent
+    else begin
+      let snap = Array.copy labels in
+      (match
+         List.find_index (fun old -> vec_equal old snap) !snaps
+       with
+      | Some back ->
+        (* the state [back + 1] sweeps ago reappeared *)
+        let period = back + 1 in
+        let window = List.filteri (fun i _ -> i <= back) !snaps in
+        let participants =
+          List.init n Fun.id
+          |> List.filter (fun u ->
+                 List.exists
+                   (fun old -> not (label_equal srp old.(u) snap.(u)))
+                   window)
+        in
+        result := Some (Oscillation { period; participants })
+      | None -> ());
+      snaps := snap :: !snaps
+    end
+  done;
+  match !result with Some v -> v | None -> Inconclusive !r
+
+let solve ?(seed = 0) ?max_steps ?(diag_rounds = 64) (srp : 'a Srp.t) =
   let g = srp.Srp.graph in
   let n = Graph.n_nodes g in
   let max_steps =
@@ -50,6 +141,8 @@ let solve ?(seed = 0) ?max_steps (srp : 'a Srp.t) =
   if seed <> 0 then shuffle rng initial;
   Array.iter push initial;
   let steps = ref 0 and updates = ref 0 in
+  (* tail of the update trace, for the divergence diagnosis *)
+  let trace = Queue.create () in
   let budget_ok = ref true in
   while !budget_ok && not (Queue.is_empty queue) do
     let u = Queue.pop queue in
@@ -58,15 +151,11 @@ let solve ?(seed = 0) ?max_steps (srp : 'a Srp.t) =
     if !steps > max_steps then budget_ok := false
     else begin
       let b = best u in
-      let same =
-        match (labels.(u), b) with
-        | None, None -> true
-        | Some a, Some b -> srp.Srp.attr_equal a b
-        | _ -> false
-      in
-      if not same then begin
+      if not (label_equal srp labels.(u) b) then begin
         labels.(u) <- b;
         incr updates;
+        Queue.add (u, b) trace;
+        if Queue.length trace > trace_cap then ignore (Queue.pop trace);
         (* Nodes whose choices mention u must re-evaluate. *)
         Array.iter push (Graph.pred g u)
       end
@@ -75,24 +164,50 @@ let solve ?(seed = 0) ?max_steps (srp : 'a Srp.t) =
   let sol = { Solution.srp; labels } in
   if !budget_ok && Solution.is_stable sol then
     Ok (sol, { steps = !steps; updates = !updates })
-  else Error (`Diverged sol)
+  else begin
+    let diag_trace = List.of_seq (Queue.to_seq trace) in
+    (* diagnosis mutates a copy; [diag_sol] is the post-sweep labeling *)
+    let labels' = Array.copy labels in
+    let diag_verdict = diagnose srp labels' ~rounds:diag_rounds in
+    Error
+      (`Diverged
+        {
+          diag_sol = { Solution.srp; labels = labels' };
+          diag_steps = !steps;
+          diag_trace;
+          diag_verdict;
+        })
+  end
 
-let solve_exn ?seed ?max_steps srp =
-  match solve ?seed ?max_steps srp with
+let pp_verdict ~graph ppf = function
+  | Oscillation { period; participants } ->
+    Format.fprintf ppf "oscillation of period %d among {%s}" period
+      (String.concat ", " (List.map (Graph.name graph) participants))
+  | Likely_convergent ->
+    Format.fprintf ppf
+      "likely convergent (the diagnosis sweep reached a fixed point; raise \
+       max_steps)"
+  | Inconclusive rounds ->
+    Format.fprintf ppf "inconclusive after %d diagnosis rounds" rounds
+
+let pp_diagnosis ppf d =
+  Format.fprintf ppf "diverged after %d steps: %a" d.diag_steps
+    (pp_verdict ~graph:d.diag_sol.Solution.srp.Srp.graph)
+    d.diag_verdict
+
+let solve_exn ?seed ?max_steps ?diag_rounds srp =
+  match solve ?seed ?max_steps ?diag_rounds srp with
   | Ok (s, _) -> s
-  | Error (`Diverged _) -> failwith "Solver.solve_exn: no stable solution found"
+  | Error (`Diverged d) ->
+    Format.kasprintf failwith "Solver.solve_exn: %a" pp_diagnosis d
 
 let solutions_sample ?(tries = 16) srp =
   let found = ref [] in
   for seed = 0 to tries - 1 do
     match solve ~seed srp with
     | Ok (s, _) ->
-      if
-        not
-          (List.exists
-             (fun s' -> s'.Solution.labels = s.Solution.labels)
-             !found)
-      then found := s :: !found
+      if not (List.exists (Solution.equal_labels s) !found) then
+        found := s :: !found
     | Error _ -> ()
   done;
   List.rev !found
@@ -148,10 +263,7 @@ let enumerate_solutions ?(max_nodes = 12) (srp : 'a Srp.t) =
       let sol = { Solution.srp; labels } in
       if
         Solution.is_stable sol
-        && not
-             (List.exists
-                (fun s -> s.Solution.labels = labels)
-                !found)
+        && not (List.exists (Solution.equal_labels sol) !found)
       then found := sol :: !found
   in
   let rec go u =

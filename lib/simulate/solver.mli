@@ -7,30 +7,68 @@
     construction. Which of the (possibly multiple, paper §3.1) solutions
     is found depends on the activation order and on how ties are broken,
     both of which can be seeded — this emulates the message-arrival timing
-    that selects solutions in a real network (paper Figure 2). For
-    divergent instances (e.g. BGP gadgets with no stable solution), the
-    step budget runs out and the solver reports failure. *)
+    that selects solutions in a real network (paper Figure 2).
+
+    Divergent instances (e.g. BGP gadgets with no stable solution, or
+    perturbed topologies — "Routing Regardless of Network Stability") run
+    the step budget out; instead of failing opaquely the solver then runs a
+    post-mortem: a deterministic sweep that either exposes the oscillation
+    cycle (period and participating nodes), reaches a fixed point (the
+    budget was simply too small), or gives up after a bounded number of
+    rounds ("inconclusive"). [solve] never raises on divergence. *)
 
 type stats = { steps : int; updates : int }
+
+type cycle = {
+  period : int;  (** sweeps until the label vector repeats *)
+  participants : int list;  (** nodes whose labels change within the cycle *)
+}
+
+type verdict =
+  | Oscillation of cycle  (** a repeated label vector: a true routing
+                              oscillation (no stable solution reachable
+                              from this state) *)
+  | Likely_convergent
+      (** the diagnosis sweep reached a fixed point — the instance is
+          stable and only [max_steps] was too small *)
+  | Inconclusive of int
+      (** no repeat within this many diagnosis rounds *)
+
+type 'a diagnosis = {
+  diag_sol : 'a Solution.t;
+      (** the (unstable) labeling after the diagnosis sweeps *)
+  diag_steps : int;  (** activations spent before the budget ran out *)
+  diag_trace : (int * 'a option) list;
+      (** tail of the update trace (node, new label), oldest first *)
+  diag_verdict : verdict;
+}
 
 val solve :
   ?seed:int ->
   ?max_steps:int ->
+  ?diag_rounds:int ->
   'a Srp.t ->
-  ('a Solution.t * stats, [ `Diverged of 'a Solution.t ]) result
+  ('a Solution.t * stats, [ `Diverged of 'a diagnosis ]) result
 (** [solve srp] computes a stable solution. [seed] permutes the activation
     order and neighbor tie-breaking (default 0: deterministic first-best).
-    [max_steps] bounds node activations (default [64 * n * (n + 1)]).
-    On [Error (`Diverged s)], [s] is the (unstable) labeling when the
-    budget ran out. *)
+    [max_steps] bounds node activations (default [64 * n * (n + 1)]);
+    [diag_rounds] bounds the post-mortem sweeps on divergence (default
+    64). *)
 
-val solve_exn : ?seed:int -> ?max_steps:int -> 'a Srp.t -> 'a Solution.t
-(** @raise Failure when the solver diverges. *)
+val solve_exn :
+  ?seed:int -> ?max_steps:int -> ?diag_rounds:int -> 'a Srp.t ->
+  'a Solution.t
+(** @raise Failure on divergence, with the diagnosis (verdict, cycle
+    period, participating nodes) in the message. *)
+
+val pp_verdict : graph:Graph.t -> Format.formatter -> verdict -> unit
+val pp_diagnosis : Format.formatter -> 'a diagnosis -> unit
 
 val solutions_sample : ?tries:int -> 'a Srp.t -> 'a Solution.t list
-(** Solve under several seeds and keep the distinct stable solutions
-    found (compared by labels). Used to explore multi-solution SRPs like
-    the paper's Figure 2 gadget. *)
+(** Solve under several seeds and keep the distinct stable solutions found
+    (labelings compared with {!Solution.equal_labels}, i.e. the SRP's own
+    attribute equality). Used to explore multi-solution SRPs like the
+    paper's Figure 2 gadget. *)
 
 val enumerate_solutions : ?max_nodes:int -> 'a Srp.t -> 'a Solution.t list
 (** All stable solutions of a {e small} SRP, by exhaustive search over the

@@ -12,7 +12,8 @@ type result = {
 let solve_or_fail (type a) (srp : a Srp.t) : a Solution.t =
   match Solver.solve srp with
   | Ok (s, _) -> s
-  | Error (`Diverged s) -> s (* judged unstable: all pairs unreachable *)
+  | Error (`Diverged d) ->
+    d.Solver.diag_sol (* judged unstable: all pairs unreachable *)
 
 let check_pairs (type a) (sol : a Solution.t) =
   let n = Graph.n_nodes sol.Solution.srp.Srp.graph in

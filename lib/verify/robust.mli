@@ -33,3 +33,35 @@ val exists_solution :
   ?max_nodes:int -> ?tries:int -> 'a Srp.t -> ('a Solution.t -> bool) ->
   'a Solution.t option
 (** A solution satisfying the predicate, if one is found. *)
+
+(** {1 Quantifying over failure scenarios}
+
+    Verification under all (or sampled) failure scenarios up to [k] downed
+    links, Tiramisu-style, built on {!Fault_engine} (lib/faults). Note the
+    quantifier order: per scenario we check {e one} solver solution — the
+    paper's multi-solution subtlety and the failure quantifier compose but
+    multiply the cost; combine with [for_all_solutions] manually when both
+    matter. *)
+
+type 'a fault_result =
+  | Fault_holds of { scenarios : int; exhaustive : bool }
+  | Fault_fails of Scenario.t * 'a Solution.t
+      (** a 1-minimal failure set and the violating stable solution *)
+  | Fault_diverges of Scenario.t * 'a Solver.diagnosis
+      (** a 1-minimal failure set under which the SRP no longer
+          converges *)
+
+val for_all_failures :
+  ?k:int ->
+  ?budget:int ->
+  ?samples:int ->
+  ?seed:int ->
+  ?max_steps:int ->
+  'a Srp.t ->
+  ('a Solution.t -> bool) ->
+  'a fault_result
+(** Does the property hold in the solved solution of every surviving
+    network with at most [k] (default 1) downed links? Scenario selection
+    as in {!Fault_engine.plan}; failing scenarios are shrunk with
+    {!Scenario.shrink} before reporting. Divergence counts as a violation
+    (the network has no stable routing to judge). *)

@@ -1,0 +1,362 @@
+(* Fault-injection engine: scenario enumeration and sampling, re-solving
+   under failures, divergence diagnosis, and abstraction soundness under
+   failures (paper §9). *)
+
+let ring n =
+  Graph.of_links ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  Graph.of_links ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+(* --- scenario enumeration and sampling ------------------------------- *)
+
+let test_all_links () =
+  Alcotest.(check int) "ring 6 links" 6 (List.length (Scenario.all_links (ring 6)));
+  Alcotest.(check (list (pair int int)))
+    "path links normalized"
+    [ (0, 1); (1, 2) ]
+    (Scenario.all_links (path 3))
+
+let choose m k =
+  let rec go m k = if k = 0 then 1 else go (m - 1) (k - 1) * m / k in
+  go m k
+
+let test_enumerate_counts () =
+  let g = ring 6 in
+  List.iter
+    (fun k ->
+      let expect =
+        List.init k (fun i -> choose 6 (i + 1)) |> List.fold_left ( + ) 0
+      in
+      let scs = Scenario.enumerate ~k g in
+      Alcotest.(check int)
+        (Printf.sprintf "ring 6, k=%d" k)
+        expect (List.length scs);
+      Alcotest.(check int)
+        (Printf.sprintf "count agrees, k=%d" k)
+        (List.length scs) (Scenario.count ~k g);
+      Alcotest.(check int)
+        (Printf.sprintf "distinct, k=%d" k)
+        (List.length scs)
+        (List.length (List.sort_uniq Scenario.compare scs)))
+    [ 1; 2; 3 ];
+  (* size-major order: all singles before any pair *)
+  let sizes = List.map Scenario.size (Scenario.enumerate ~k:2 g) in
+  Alcotest.(check (list int))
+    "size-major order"
+    (List.init 6 (fun _ -> 1) @ List.init 15 (fun _ -> 2))
+    sizes
+
+let test_cut_links () =
+  Alcotest.(check (list (pair int int)))
+    "path: every link is a cut link"
+    [ (0, 1); (1, 2) ]
+    (Scenario.cut_links (path 3));
+  Alcotest.(check (list (pair int int)))
+    "ring has no cut link" [] (Scenario.cut_links (ring 5))
+
+let test_sample () =
+  (* barbell: two triangles joined by a bridge — the bridge must be
+     sampled first *)
+  let g =
+    Graph.of_links ~n:6
+      [ (0, 1); (1, 2); (0, 2); (2, 3); (3, 4); (4, 5); (3, 5) ]
+  in
+  let scs = Scenario.sample ~k:2 ~samples:5 ~seed:7 g in
+  Alcotest.(check int) "sample count" 5 (List.length scs);
+  Alcotest.(check int) "distinct" 5
+    (List.length (List.sort_uniq Scenario.compare scs));
+  Alcotest.(check bool)
+    "bridge first" true
+    (Scenario.equal (List.hd scs) (Scenario.make [ (2, 3) ]));
+  List.iter
+    (fun sc ->
+      Alcotest.(check bool)
+        "size within k" true
+        (Scenario.size sc >= 1 && Scenario.size sc <= 2))
+    scs;
+  Alcotest.(check bool)
+    "deterministic in seed" true
+    (List.equal Scenario.equal scs (Scenario.sample ~k:2 ~samples:5 ~seed:7 g))
+
+let test_apply () =
+  let g = ring 4 in
+  let sc = Scenario.make ~nodes:[ 2 ] [ (0, 1) ] in
+  let g' = Scenario.apply g sc in
+  Alcotest.(check int) "same node count" 4 (Graph.n_nodes g');
+  Alcotest.(check string) "names survive" (Graph.name g 2) (Graph.name g' 2);
+  Alcotest.(check int) "downed node isolated" 0
+    (Array.length (Graph.succ g' 2));
+  Alcotest.(check bool) "downed link gone (both ways)" false
+    (Graph.has_edge g' 0 1 || Graph.has_edge g' 1 0);
+  Alcotest.(check bool) "surviving link kept" true (Graph.has_edge g' 0 3)
+
+(* --- the engine ------------------------------------------------------- *)
+
+let test_survives () =
+  Alcotest.(check bool)
+    "downed dest" false
+    (Fault_engine.survives (Scenario.make ~nodes:[ 0 ] []) ~dest:0);
+  Alcotest.(check bool)
+    "downed link touching dest is fine" true
+    (Fault_engine.survives (Scenario.make [ (0, 1) ]) ~dest:0)
+
+let test_engine_outcomes () =
+  let srp = Rip.make (ring 4) ~dest:0 in
+  (match Fault_engine.run srp (Scenario.make [ (1, 2) ]) with
+  | Fault_engine.Stable sol ->
+    Alcotest.(check bool) "ring survives one failure" true
+      (List.init 4 Fun.id
+      |> List.for_all (fun u -> u = 0 || Solution.reaches sol u))
+  | _ -> Alcotest.fail "expected Stable");
+  match Fault_engine.run srp (Scenario.make [ (1, 2); (2, 3) ]) with
+  | Fault_engine.Disconnected (_, stranded) ->
+    Alcotest.(check (list int)) "node 2 stranded" [ 2 ] stranded
+  | _ -> Alcotest.fail "expected Disconnected"
+
+let test_plan () =
+  let g = ring 6 in
+  let p = Fault_engine.plan ~k:2 g in
+  Alcotest.(check bool) "small space is exhaustive" true
+    p.Fault_engine.exhaustive;
+  Alcotest.(check int) "all 21 scenarios" 21
+    (List.length p.Fault_engine.scenarios);
+  let p = Fault_engine.plan ~budget:10 ~k:2 g in
+  Alcotest.(check bool) "over budget samples" false p.Fault_engine.exhaustive;
+  let p = Fault_engine.plan ~samples:4 ~k:2 g in
+  Alcotest.(check int) "forced samples" 4 (List.length p.Fault_engine.scenarios)
+
+let test_survey () =
+  let srp = Rip.make (ring 4) ~dest:0 in
+  let plan = Fault_engine.plan ~k:2 (ring 4) in
+  let r = Fault_engine.survey srp plan in
+  (* C(4,1)+C(4,2) = 10 scenarios; a 4-ring tolerates any single failure
+     but every pair of failures cuts some node off from the dest *)
+  Alcotest.(check int) "total" 10
+    (r.Fault_engine.n_stable + r.Fault_engine.n_disconnected
+    + r.Fault_engine.n_diverged);
+  Alcotest.(check int) "diverged" 0 r.Fault_engine.n_diverged;
+  Alcotest.(check int) "singles all stable" 4 r.Fault_engine.n_stable;
+  Alcotest.(check int) "every pair disconnects" 6
+    r.Fault_engine.n_disconnected
+
+(* --- divergence diagnosis --------------------------------------------- *)
+
+type owned = { owner : int; opath : int list }
+
+let bad_gadget_srp () =
+  (* the classic BGP bad gadget (Griffin et al.): no stable solution *)
+  let g =
+    Graph.of_links ~n:4 [ (0, 1); (0, 2); (0, 3); (1, 2); (2, 3); (3, 1) ]
+  in
+  let clockwise = function 1 -> 2 | 2 -> 3 | 3 -> 1 | _ -> 0 in
+  let rank o = function
+    | [ v; 0 ] when v = clockwise o -> 0
+    | [ 0 ] -> 1
+    | _ -> 2
+  in
+  {
+    Srp.graph = g;
+    dest = 0;
+    init = { owner = 0; opath = [] };
+    compare =
+      (fun a b ->
+        if a.owner = b.owner then
+          compare (rank a.owner a.opath) (rank b.owner b.opath)
+        else 0);
+    trans =
+      (fun u v a ->
+        match a with
+        | None -> None
+        | Some a ->
+          let opath = v :: a.opath in
+          if List.mem u opath then None else Some { owner = u; opath });
+    attr_equal = ( = );
+    pp_attr =
+      (fun ppf a ->
+        Format.fprintf ppf "%d:%s" a.owner
+          (String.concat "." (List.map string_of_int a.opath)));
+  }
+
+let test_diagnosis_oscillation () =
+  match Solver.solve ~max_steps:2000 (bad_gadget_srp ()) with
+  | Ok _ -> Alcotest.fail "bad gadget must not stabilize"
+  | Error (`Diverged d) -> (
+    Alcotest.(check bool) "spent the budget" true (d.Solver.diag_steps > 0);
+    Alcotest.(check bool) "trace tail kept" true (d.Solver.diag_trace <> []);
+    match d.Solver.diag_verdict with
+    | Solver.Oscillation { period; participants } ->
+      Alcotest.(check bool) "positive period" true (period > 0);
+      Alcotest.(check bool) "participants are the gadget ring" true
+        (participants <> []
+        && List.for_all (fun u -> List.mem u [ 1; 2; 3 ]) participants)
+    | _ -> Alcotest.fail "expected an oscillation verdict")
+
+let test_diagnosis_likely_convergent () =
+  (* a convergent SRP with a starved budget: the diagnosis sweep reaches a
+     fixed point and says so instead of crying oscillation *)
+  match Solver.solve ~max_steps:1 (Rip.make (ring 10) ~dest:0) with
+  | Ok _ -> Alcotest.fail "one step cannot stabilize a 10-ring"
+  | Error (`Diverged d) -> (
+    match d.Solver.diag_verdict with
+    | Solver.Likely_convergent -> ()
+    | v ->
+      Alcotest.failf "expected Likely_convergent, got %a"
+        (Solver.pp_verdict ~graph:(ring 10))
+        v)
+
+let test_solve_exn_diagnosis_message () =
+  match Solver.solve_exn ~max_steps:2000 (bad_gadget_srp ()) with
+  | _ -> Alcotest.fail "bad gadget must not stabilize"
+  | exception Failure msg ->
+    let has needle = Astring_contains.contains msg needle in
+    Alcotest.(check bool) "names the step count" true (has "diverged after");
+    Alcotest.(check bool) "names the oscillation" true (has "oscillation");
+    Alcotest.(check bool) "names a participant" true (has "n1" || has "1")
+
+(* --- solution dedup uses attr_equal, not polymorphic compare ---------- *)
+
+let closure_srp () =
+  (* attributes carry a closure: polymorphic compare would raise
+     Invalid_argument "compare: functional value" *)
+  {
+    Srp.graph = path 3;
+    dest = 0;
+    init = (0, Fun.id);
+    compare = (fun (a, _) (b, _) -> Int.compare a b);
+    trans =
+      (fun _u _v a ->
+        match a with
+        | None -> None
+        | Some (h, f) -> if h >= 15 then None else Some (h + 1, f));
+    attr_equal = (fun (a, _) (b, _) -> Int.equal a b);
+    pp_attr = (fun ppf (h, _) -> Format.pp_print_int ppf h);
+  }
+
+let test_dedup_with_closures () =
+  let sols = Solver.solutions_sample ~tries:6 (closure_srp ()) in
+  Alcotest.(check int) "one distinct solution" 1 (List.length sols);
+  let sols = Solver.enumerate_solutions (closure_srp ()) in
+  Alcotest.(check int) "enumerate agrees" 1 (List.length sols)
+
+(* --- shrinking -------------------------------------------------------- *)
+
+let test_shrink_exact () =
+  let fails sc =
+    List.mem (1, 2) sc.Scenario.down_links
+    && List.mem (3, 4) sc.Scenario.down_links
+  in
+  let big = Scenario.make ~nodes:[ 9 ] [ (1, 2); (2, 3); (3, 4); (5, 6) ] in
+  let m = Scenario.shrink fails big in
+  Alcotest.(check bool) "shrinks to the two guilty links" true
+    (Scenario.equal m (Scenario.make [ (1, 2); (3, 4) ]))
+
+let test_shrink_requires_failing () =
+  match Scenario.shrink (fun _ -> false) (Scenario.make [ (0, 1) ]) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let qcheck_shrink_minimal =
+  (* the shrunk scenario of a monotone failure is exactly the guilty set,
+     and dropping any single element of it makes the failure disappear *)
+  let links = Scenario.all_links (ring 6) in
+  let of_mask mask =
+    List.filteri (fun i _ -> mask land (1 lsl i) <> 0) links
+  in
+  QCheck.Test.make ~name:"shrink is 1-minimal" ~count:200
+    QCheck.(pair (int_range 1 63) (int_range 0 63))
+    (fun (target_mask, extra_mask) ->
+      let target = of_mask target_mask in
+      let sc = Scenario.make (of_mask (target_mask lor extra_mask)) in
+      let fails sc =
+        List.for_all (fun l -> List.mem l sc.Scenario.down_links) target
+      in
+      let m = Scenario.shrink fails sc in
+      fails m
+      && Scenario.equal m (Scenario.make target)
+      && List.for_all
+           (fun e ->
+             let smaller =
+               Scenario.of_elements
+                 (List.filter (fun e' -> e' <> e) (Scenario.elements m))
+             in
+             not (fails smaller))
+           (Scenario.elements m))
+
+(* --- abstraction soundness under failures ----------------------------- *)
+
+let test_soundness_fattree () =
+  (* the paper §9 caveat, mechanized: the fault-free fattree abstraction
+     is broken by (any) single aggregation-core link failure *)
+  let ft = Generators.fattree ~k:4 in
+  let net = Synthesis.fattree_shortest_path ft in
+  let ec = List.hd (Ecs.compute net) in
+  let dest = Ecs.single_origin ec in
+  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let concrete = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
+  let abstract_ = Abstraction.bgp_srp t in
+  let scenarios = Scenario.enumerate ~k:1 net.Device.graph in
+  match Soundness.first_break t ~concrete ~abstract_ scenarios with
+  | None -> Alcotest.fail "expected the fattree abstraction to break"
+  | Some (sc, m) ->
+    Alcotest.(check int) "minimal set is a single link" 1 (Scenario.size sc);
+    Alcotest.(check bool) "concrete side still routes" true
+      m.Soundness.concrete_reaches;
+    Alcotest.(check bool) "abstract side is partitioned" false
+      m.Soundness.abstract_reaches;
+    Alcotest.(check bool) "both sides converged" true
+      (m.Soundness.concrete_stable && m.Soundness.abstract_stable)
+
+let test_soundness_identity_ok () =
+  (* sanity: comparing a network against itself (identity abstraction via
+     a faithful SRP copy) never reports a break on a fault-tolerant
+     topology when concrete and abstract agree by construction *)
+  let srp = Rip.make (ring 5) ~dest:0 in
+  let report =
+    Fault_engine.survey srp (Fault_engine.plan ~k:1 (ring 5))
+  in
+  Alcotest.(check int) "ring tolerates any single failure" 5
+    report.Fault_engine.n_stable
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "all_links" `Quick test_all_links;
+          Alcotest.test_case "enumerate counts" `Quick test_enumerate_counts;
+          Alcotest.test_case "cut links" `Quick test_cut_links;
+          Alcotest.test_case "sampling" `Quick test_sample;
+          Alcotest.test_case "apply" `Quick test_apply;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "survives" `Quick test_survives;
+          Alcotest.test_case "outcomes" `Quick test_engine_outcomes;
+          Alcotest.test_case "plan" `Quick test_plan;
+          Alcotest.test_case "survey" `Quick test_survey;
+        ] );
+      ( "diagnosis",
+        [
+          Alcotest.test_case "oscillation" `Quick test_diagnosis_oscillation;
+          Alcotest.test_case "likely convergent" `Quick
+            test_diagnosis_likely_convergent;
+          Alcotest.test_case "solve_exn message" `Quick
+            test_solve_exn_diagnosis_message;
+          Alcotest.test_case "dedup with closures" `Quick
+            test_dedup_with_closures;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "exact" `Quick test_shrink_exact;
+          Alcotest.test_case "requires failing input" `Quick
+            test_shrink_requires_failing;
+          QCheck_alcotest.to_alcotest qcheck_shrink_minimal;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "fattree breaks under one failure" `Quick
+            test_soundness_fattree;
+          Alcotest.test_case "ring survives" `Quick test_soundness_identity_ok;
+        ] );
+    ]
