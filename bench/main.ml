@@ -53,7 +53,7 @@ let t1_print r =
 let compress_row ?(sample = 64) name (net : Device.network) =
   let total_ecs = Ecs.count net in
   let stride = max 1 (total_ecs / sample) in
-  let s = Bonsai_api.compress ~stride net in
+  let s = Bonsai_api.compress_exn ~stride net in
   {
     row_name = name;
     nodes = Graph.n_nodes net.Device.graph;
@@ -124,7 +124,7 @@ let figure11 () =
       let ft = Generators.fattree ~k in
       let size net =
         let ec = List.hd (Ecs.compute net) in
-        let r = Bonsai_api.compress_ec net ec in
+        let r = Bonsai_api.compress_ec_exn net ec in
         ( Abstraction.n_abstract r.Bonsai_api.abstraction,
           Graph.n_links r.Bonsai_api.abstraction.Abstraction.abs_graph )
       in
@@ -227,7 +227,7 @@ let ablation_bdd () =
     semantic naive;
   let mean keep =
     let s =
-      Bonsai_api.compress ?keep_unmatched_comms:keep ~stride:11
+      Bonsai_api.compress_exn ?keep_unmatched_comms:keep ~stride:11
         dc.Synthesis.net
     in
     Bonsai_api.mean_abs_nodes s
@@ -245,7 +245,7 @@ let ablation_uu () =
     in
     let ec = List.hd (Ecs.compute net) in
     let dest = Ecs.single_origin ec in
-    let r = Bonsai_api.compress_ec net ec in
+    let r = Bonsai_api.compress_ec_exn net ec in
     let sound = r.Bonsai_api.abstraction in
     (* disable the preference-driven splitting *)
     let _, signature = Compile.edge_signatures net ~dest:ec.Ecs.ec_prefix in
@@ -309,7 +309,7 @@ let ablation_uu () =
   in
   let net = gadget () in
   let ec = List.hd (Ecs.compute net) in
-  let sound = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let sound = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   let _, signature = Compile.edge_signatures net ~dest:ec.Ecs.ec_prefix in
   let partition, _ =
     Refine.find_partition net ~dest:0 ~signature ~prefs:(fun _ -> [])
@@ -412,7 +412,7 @@ let micro () =
                Policy_bdd.encode_route_map mini_universe rm
                  ~dest:(Prefix.of_string "10.0.0.0/24")));
         Test.make ~name:"compress-ec-fattree-180"
-          (Staged.stage (fun () -> Bonsai_api.compress_ec ~universe net ec));
+          (Staged.stage (fun () -> Bonsai_api.compress_ec_exn ~universe net ec));
         Test.make ~name:"solve-fattree-180"
           (Staged.stage (fun () ->
                Solver.solve

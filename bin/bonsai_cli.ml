@@ -9,23 +9,31 @@
    Network specifications: fattree:K, fattree-prefer:K, ring:N, mesh:N,
    random:N[:SEED], datacenter, wan. *)
 
-(* Parses a network spec; [file:PATH] networks additionally carry a source
-   location table for file:line diagnostics. *)
-let parse_network_full spec =
+(* A bad network spec / router name on the command line: reported as a
+   usage error, not as one of the typed pipeline failures. *)
+exception Usage of string
+
+(* Resolves a network spec; [file:PATH] networks additionally carry a
+   source location table for file:line diagnostics. Raises
+   [Bonsai_error.Error (Parse_error _)] for an unparsable file and [Usage]
+   for an unknown spec — both handled by [guarded] below, mapping parse
+   errors to their dedicated exit code. *)
+let resolve_network_full spec =
   let fail () =
-    `Error
-      (false,
-       Printf.sprintf
-         "unknown network %S (expected fattree:K, fattree-prefer:K, ring:N, \
-          mesh:N, random:N[:SEED], datacenter, wan)"
-         spec)
+    raise
+      (Usage
+         (Printf.sprintf
+            "unknown network %S (expected fattree:K, fattree-prefer:K, \
+             ring:N, mesh:N, random:N[:SEED], datacenter, wan, file:PATH)"
+            spec))
   in
-  let pure net = `Ok (net, None) in
+  let pure net = (net, None) in
   match String.split_on_char ':' spec with
   | "file" :: rest -> (
-    match Config_text.load_with_locs (String.concat ":" rest) with
-    | Ok (net, locs) -> `Ok (net, Some locs)
-    | Error e -> `Error (false, e))
+    match Config_text.load_full (String.concat ":" rest) with
+    | Ok (net, locs) -> (net, Some locs)
+    | Error ds ->
+      Bonsai_error.error (Bonsai_error.Parse_error { diagnostics = ds }))
   | [ "datacenter" ] -> pure (Synthesis.datacenter ()).Synthesis.net
   | [ "wan" ] -> pure (Synthesis.wan ()).Synthesis.net
   | [ "fattree"; k ] -> (
@@ -55,41 +63,42 @@ let parse_network_full spec =
     | None -> fail ())
   | _ -> fail ()
 
-let parse_network spec =
-  match parse_network_full spec with
-  | `Ok (net, _) -> `Ok net
-  | `Error _ as e -> e
-
-let network_conv =
-  Cmdliner.Arg.conv
-    ( (fun s ->
-        match parse_network s with
-        | `Ok net -> Ok net
-        | `Error (_, msg) -> Error (`Msg msg)),
-      fun ppf _ -> Format.pp_print_string ppf "<network>" )
+let resolve_network spec = fst (resolve_network_full spec)
 
 let network_arg =
   Cmdliner.Arg.(
     required
-    & pos 0 (some network_conv) None
-    & info [] ~docv:"NETWORK" ~doc:"Network specification (e.g. fattree:12).")
-
-let network_locs_conv =
-  Cmdliner.Arg.conv
-    ( (fun s ->
-        match parse_network_full s with
-        | `Ok pair -> Ok pair
-        | `Error (_, msg) -> Error (`Msg msg)),
-      fun ppf _ -> Format.pp_print_string ppf "<network>" )
-
-let network_locs_arg =
-  Cmdliner.Arg.(
-    required
-    & pos 0 (some network_locs_conv) None
+    & pos 0 (some string) None
     & info [] ~docv:"NETWORK"
         ~doc:
-          "Network specification (e.g. fattree:12, or file:PATH for source \
-           line numbers in diagnostics).")
+          "Network specification (e.g. fattree:12, or file:PATH for a \
+           configuration file).")
+
+(* Every command body runs under this wrapper: commands return their exit
+   code, and any escaping failure is converted to the typed taxonomy and
+   its documented exit code (budget 3, parse 4, compile 5, divergence 6,
+   soundness 7, internal 9). *)
+let guarded f =
+  match f () with
+  | code -> code
+  | exception Usage m ->
+    Format.eprintf "bonsai: %s@." m;
+    Cmdliner.Cmd.Exit.cli_error
+  | exception Failure m ->
+    Format.eprintf "bonsai: %s@." m;
+    Cmdliner.Cmd.Exit.some_error
+  | exception e ->
+    let err = Bonsai_error.of_exn e in
+    Format.eprintf "bonsai: @[<v>%a@]@." Bonsai_error.pp err;
+    Bonsai_error.exit_code err
+
+let make_budget ms ticks =
+  match (ms, ticks) with
+  | None, None -> Budget.infinite
+  | _ ->
+    Budget.create
+      ?deadline_s:(Option.map (fun m -> float_of_int m /. 1000.0) ms)
+      ?max_ticks:ticks ()
 
 let find_ec net = function
   | None -> List.hd (Ecs.compute net)
@@ -105,16 +114,19 @@ let find_ec net = function
 
 (* --- info ----------------------------------------------------------- *)
 
-let info_cmd_run net =
+let info_cmd_run spec =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
   let g = net.Device.graph in
   Format.printf "nodes: %d@." (Graph.n_nodes g);
   Format.printf "links: %d@." (Graph.n_links g);
   Format.printf "destination classes: %d@." (Ecs.count net);
   Format.printf "configuration lines: %d@." (Device.config_lines net);
   Format.printf "unique roles: %d@." (Bonsai_api.roles net);
-  match Device.validate net with
+  (match Device.validate net with
   | Ok () -> Format.printf "configuration: valid@."
-  | Error e -> Format.printf "configuration: INVALID (%s)@." e
+  | Error e -> Format.printf "configuration: INVALID (%s)@." e);
+  0
 
 (* --- compress --------------------------------------------------------- *)
 
@@ -137,66 +149,133 @@ let check_result net (r : Bonsai_api.ec_result) =
     List.iter (Format.printf "  %a@." Check.pp_violation) vs;
     false
 
-let compress_cmd_run net ec_prefix dot all check =
+let compress_cmd_run spec ec_prefix dot all check budget_ms budget_ticks
+    degrade =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
+  let budget = make_budget budget_ms budget_ticks in
+  (* Elapsed wall clock is nondeterministic, so it goes to stderr; the
+     degradation report on stdout stays golden-testable. *)
+  let report_budget () =
+    if not (Budget.is_infinite budget) then
+      Printf.eprintf "budget: %d ticks consumed, %.3fs elapsed\n%!"
+        (Budget.ticks budget) (Budget.elapsed_s budget)
+  in
+  let degrade_exit code = if degrade then 0 else code in
   if all then begin
-    let s = Bonsai_api.compress net in
+    let s = Bonsai_api.compress_exn ~budget net in
     Format.printf "%a@." Bonsai_api.pp_summary s;
-    if check then begin
-      let ok =
-        List.fold_left
-          (fun ok r -> check_result net r && ok)
-          true s.Bonsai_api.results
-      in
-      if not ok then exit 1
-    end
+    report_budget ();
+    let checked_ok =
+      (not check)
+      || List.fold_left
+           (* degraded classes are the identity abstraction — nothing to
+              re-check, and their report line already flags them *)
+           (fun ok r -> (r.Bonsai_api.degraded || check_result net r) && ok)
+           true s.Bonsai_api.results
+    in
+    match (s.Bonsai_api.degradation, checked_ok) with
+    | Some _, _ -> degrade_exit 3
+    | None, false -> degrade_exit 1
+    | None, true -> 0
   end
   else begin
     let ec = find_ec net ec_prefix in
-    let r = Bonsai_api.compress_ec net ec in
+    (* Identity fallback built against a fresh, un-budgeted universe (the
+       budgeted manager may be what ran out). *)
+    let fallback () =
+      let universe = Policy_bdd.universe_of_network net in
+      {
+        Bonsai_api.ec;
+        abstraction =
+          Abstraction.identity net ~dest:(Ecs.single_origin ec)
+            ~dest_prefix:ec.Ecs.ec_prefix ~universe;
+        refine_stats = { Refine.iterations = 0; splits = 0 };
+        time_s = 0.0;
+        degraded = true;
+      }
+    in
+    let r, why =
+      match Bonsai_api.compress_ec ~budget net ec with
+      | Ok r -> (r, None)
+      | Error (Bonsai_error.Budget_exceeded info) ->
+        (fallback (), Some (`Budget info))
+      | Error e -> Bonsai_error.error e
+    in
+    let r, why =
+      if check && why = None && not (check_result net r) then
+        (fallback (), Some `Check)
+      else (r, why)
+    in
     let t = r.Bonsai_api.abstraction in
     Format.printf "%a@." Abstraction.pp_summary t;
     Format.printf "compression time: %.3fs (%d refinement iterations)@."
       r.Bonsai_api.time_s r.Bonsai_api.refine_stats.Refine.iterations;
-    Array.iteri
-      (fun gid members ->
-        Format.printf "  role %d (%d node%s%s): %s@." gid
-          (List.length members)
-          (if List.length members = 1 then "" else "s")
-          (if t.Abstraction.copies.(gid) > 1 then
-             Printf.sprintf ", %d copies" t.Abstraction.copies.(gid)
-           else "")
-          (String.concat ", "
-             (List.map (Graph.name net.Device.graph)
-                (List.filteri (fun i _ -> i < 6) members)
-             @ if List.length members > 6 then [ "..." ] else [])))
-      t.Abstraction.groups;
+    (* the identity fallback has one role per node — listing it is noise *)
+    if not r.Bonsai_api.degraded then
+      Array.iteri
+        (fun gid members ->
+          Format.printf "  role %d (%d node%s%s): %s@." gid
+            (List.length members)
+            (if List.length members = 1 then "" else "s")
+            (if t.Abstraction.copies.(gid) > 1 then
+               Printf.sprintf ", %d copies" t.Abstraction.copies.(gid)
+             else "")
+            (String.concat ", "
+               (List.map (Graph.name net.Device.graph)
+                  (List.filteri (fun i _ -> i < 6) members)
+               @ if List.length members > 6 then [ "..." ] else [])))
+        t.Abstraction.groups;
     (match dot with
     | None -> ()
     | Some path ->
       Dot.write_file ~path t.Abstraction.abs_graph;
       Format.printf "abstract topology written to %s@." path);
-    if check && not (check_result net r) then exit 1
+    (match why with
+    | None -> ()
+    | Some (`Budget info) ->
+      Format.printf "@[<v>%a@]@." Bonsai_api.pp_degradation
+        {
+          Bonsai_api.deg_info = info;
+          deg_completed = 0;
+          deg_total = 1;
+        }
+    | Some `Check ->
+      Format.printf
+        "DEGRADED: abstraction failed --check; fell back to the identity \
+         abstraction (abstract network = concrete network)@.");
+    report_budget ();
+    match why with
+    | None -> 0
+    | Some (`Budget _) -> degrade_exit 3
+    | Some `Check -> degrade_exit 1
   end
 
 (* --- lint -------------------------------------------------------------- *)
 
-let lint_cmd_run (net, locs) format min_severity no_compression list_checks =
-  if list_checks then
+let lint_cmd_run spec format min_severity no_compression list_checks =
+  guarded @@ fun () ->
+  if list_checks then begin
     List.iter
       (fun (name, doc) -> Format.printf "%-24s %s@." name doc)
-      Lint.checks
+      Lint.checks;
+    0
+  end
   else begin
+    let net, locs = resolve_network_full spec in
     let ds = Lint.run ?locs ~compression:(not no_compression) net in
     let shown = Lint.filter ~min_severity ds in
     (match format with
     | `Text -> Format.printf "%a" Lint.pp_text shown
     | `Json -> Format.printf "%a" Lint.pp_json shown);
-    if Lint.has_errors ds then exit 1
+    if Lint.has_errors ds then 1 else 0
   end
 
 (* --- verify ------------------------------------------------------------ *)
 
-let verify_cmd_run net src ec_prefix =
+let verify_cmd_run spec src ec_prefix =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
   let ec = find_ec net ec_prefix in
   let src_id =
     match Graph.find_by_name net.Device.graph src with
@@ -213,12 +292,16 @@ let verify_cmd_run net src ec_prefix =
     src Ecs.pp ec cv ct av at;
   if cv <> av then begin
     Format.printf "DISAGREEMENT — this is a bug@.";
-    exit 1
+    (* a disagreement between abstract and concrete is a soundness break *)
+    Bonsai_error.exit_code (Bonsai_error.Soundness_break "")
   end
+  else 0
 
 (* --- trace ------------------------------------------------------------- *)
 
-let trace_cmd_run net src_name addr all =
+let trace_cmd_run spec src_name addr all =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
   let src =
     match Graph.find_by_name net.Device.graph src_name with
     | Some v -> v
@@ -242,7 +325,8 @@ let trace_cmd_run net src_name addr all =
         (String.concat " -> " (List.map (Graph.name net.Device.graph) path))
   in
   if all then List.iter show (Dataplane.trace_all dp ~src addr)
-  else show (Dataplane.trace dp ~src addr)
+  else show (Dataplane.trace dp ~src addr);
+  0
 
 (* --- faults ------------------------------------------------------------ *)
 
@@ -269,15 +353,19 @@ let scenario_json ~names (sc : Scenario.t) =
   in
   "[" ^ String.concat "," parts ^ "]"
 
-let faults_cmd_run net ec_prefix k samples seed format =
+let faults_cmd_run spec ec_prefix k samples seed format budget_ms
+    budget_ticks =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
+  let budget = make_budget budget_ms budget_ticks in
   let ec = find_ec net ec_prefix in
   let dest = Ecs.single_origin ec in
   let g = net.Device.graph in
   let name = Graph.name g in
   let srp = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
   let plan = Fault_engine.plan ?samples ~seed ~k g in
-  let report = Fault_engine.survey srp plan in
-  let r = Bonsai_api.compress_ec net ec in
+  let report = Fault_engine.survey ~budget srp plan in
+  let r = Bonsai_api.compress_ec_exn net ec in
   let t = r.Bonsai_api.abstraction in
   let abs_name = Graph.name t.Abstraction.abs_graph in
   let break_ =
@@ -318,6 +406,8 @@ let faults_cmd_run net ec_prefix k samples seed format =
     Format.printf "  disconnected:       %d@."
       report.Fault_engine.n_disconnected;
     Format.printf "  diverged:           %d@." report.Fault_engine.n_diverged;
+    if report.Fault_engine.n_skipped > 0 then
+      Format.printf "  skipped (budget):   %d@." report.Fault_engine.n_skipped;
     let cap = 12 in
     if disconnected <> [] then begin
       Format.printf "disconnected scenarios%s:@."
@@ -386,6 +476,8 @@ let faults_cmd_run net ec_prefix k samples seed format =
          (if plan.Fault_engine.exhaustive then "exhaustive" else "sampled"))
       n_scenarios;
     Format.printf "  \"stable\": %d,@." report.Fault_engine.n_stable;
+    if report.Fault_engine.n_skipped > 0 then
+      Format.printf "  \"skipped\": %d,@." report.Fault_engine.n_skipped;
     Format.printf "  \"disconnected\": [%s],@."
       (String.concat ","
          (List.map
@@ -423,29 +515,36 @@ let faults_cmd_run net ec_prefix k samples seed format =
   if
     report.Fault_engine.n_disconnected + report.Fault_engine.n_diverged > 0
     || break_ <> None
-  then exit 1
+  then 1
+  else if report.Fault_engine.n_skipped > 0 then 3
+  else 0
 
 (* --- explain ----------------------------------------------------------- *)
 
-let explain_cmd_run net a_name b_name ec_prefix =
+let explain_cmd_run spec a_name b_name ec_prefix =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
   let ec = find_ec net ec_prefix in
   let node name =
     match Graph.find_by_name net.Device.graph name with
     | Some v -> v
     | None -> Format.kasprintf failwith "unknown router %S" name
   in
-  match Bonsai_api.explain net ec (node a_name) (node b_name) with
+  (match Bonsai_api.explain net ec (node a_name) (node b_name) with
   | [] ->
     Format.printf "%s and %s play the same role for %a@." a_name b_name
       Prefix.pp ec.Ecs.ec_prefix
   | reasons ->
     Format.printf "%s and %s differ for %a:@." a_name b_name Prefix.pp
       ec.Ecs.ec_prefix;
-    List.iter (Format.printf "  - %s@.") reasons
+    List.iter (Format.printf "  - %s@.") reasons);
+  0
 
 (* --- policy ----------------------------------------------------------- *)
 
-let policy_cmd_run net from_name to_name ec_prefix =
+let policy_cmd_run spec from_name to_name ec_prefix =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
   let ec = find_ec net ec_prefix in
   let node name =
     match Graph.find_by_name net.Device.graph name with
@@ -465,11 +564,14 @@ let policy_cmd_run net from_name to_name ec_prefix =
     | None -> Format.printf "import: permit all@.")
   | None -> Format.printf "no BGP session@.");
   Format.printf "BDD: %d nodes@." (Bdd.size b);
-  Format.printf "relation: %a@." (Policy_bdd.pp_policy u) b
+  Format.printf "relation: %a@." (Policy_bdd.pp_policy u) b;
+  0
 
 (* --- export --------------------------------------------------------------- *)
 
-let export_cmd_run net path format =
+let export_cmd_run spec path format =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
   (match format with
   | "text" -> Config_text.save ~path net
   | "ios" ->
@@ -478,19 +580,48 @@ let export_cmd_run net path format =
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (Ios_print.to_string net))
   | f -> Format.kasprintf failwith "unknown format %S (text|ios)" f);
-  Format.printf "wrote %s@." path
+  Format.printf "wrote %s@." path;
+  0
 
 (* --- roles -------------------------------------------------------------- *)
 
-let roles_cmd_run net =
+let roles_cmd_run spec =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
   Format.printf "semantic roles (BDD policy equality): %d@."
     (Bonsai_api.roles net);
   Format.printf "naive roles (unmatched communities kept): %d@."
-    (Bonsai_api.roles ~keep_unmatched_comms:true net)
+    (Bonsai_api.roles ~keep_unmatched_comms:true net);
+  0
 
 (* --- command wiring ------------------------------------------------------ *)
 
 open Cmdliner
+
+(* Exit codes of the typed error taxonomy, shown in every --help. *)
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success (including degraded results under \
+                        $(b,--degrade))."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "on findings: a failed $(b,--check), error-severity lint \
+          diagnostics, or fault scenarios that disconnect/diverge/break \
+          the abstraction."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "on budget exhaustion ($(b,--budget-ms)/$(b,--budget-ticks)) \
+          without $(b,--degrade)."
+  :: Cmd.Exit.info 4 ~doc:"on configuration parse errors."
+  :: Cmd.Exit.info 5 ~doc:"on compilation errors."
+  :: Cmd.Exit.info 6 ~doc:"on solver divergence."
+  :: Cmd.Exit.info 7
+       ~doc:"on a soundness break (abstract and concrete disagree)."
+  :: Cmd.Exit.info 9 ~doc:"on internal errors."
+  :: List.filter
+       (fun i -> Cmd.Exit.info_code i <> Cmd.Exit.ok)
+       Cmd.Exit.defaults
+
+let cmd_info name ~doc = Cmd.info name ~doc ~exits
 
 let ec_arg =
   Arg.(
@@ -499,9 +630,39 @@ let ec_arg =
     & info [ "ec" ] ~docv:"PREFIX"
         ~doc:"Destination class to operate on (default: the first).")
 
+let budget_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds. When it runs out the tool \
+           stops the expensive phases and exits 3 — or degrades gracefully \
+           under $(b,--degrade).")
+
+let budget_ticks_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-ticks" ] ~docv:"N"
+        ~doc:
+          "Deterministic work budget: one tick per solver activation, \
+           refinement iteration, or uncached BDD operation. Exhaustion \
+           behaves like $(b,--budget-ms); useful for reproducible tests.")
+
+let degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "degrade" ]
+        ~doc:
+          "On budget exhaustion or a failed $(b,--check), exit 0 with the \
+           identity abstraction (every router its own role — always sound, \
+           no compression) and a degradation report, instead of a nonzero \
+           exit.")
+
 let info_cmd =
   Cmd.v
-    (Cmd.info "info" ~doc:"Describe a network")
+    (cmd_info "info" ~doc:"Describe a network")
     Term.(const info_cmd_run $ network_arg)
 
 let compress_cmd =
@@ -525,8 +686,10 @@ let compress_cmd =
              (paper Figure 4) on the result; exit 1 on any violation.")
   in
   Cmd.v
-    (Cmd.info "compress" ~doc:"Compress a network for one destination class")
-    Term.(const compress_cmd_run $ network_arg $ ec_arg $ dot $ all $ check)
+    (cmd_info "compress" ~doc:"Compress a network for one destination class")
+    Term.(
+      const compress_cmd_run $ network_arg $ ec_arg $ dot $ all $ check
+      $ budget_ms_arg $ budget_ticks_arg $ degrade_arg)
 
 let lint_cmd =
   let format =
@@ -563,12 +726,13 @@ let lint_cmd =
       & info [ "list-checks" ] ~doc:"List every check and exit.")
   in
   Cmd.v
-    (Cmd.info "lint"
+    (cmd_info "lint"
        ~doc:
          "Run the semantic configuration linter (exit 1 iff any \
-          error-severity diagnostic)")
+          error-severity diagnostic; file:PATH networks get file:line \
+          positions)")
     Term.(
-      const lint_cmd_run $ network_locs_arg $ format $ min_severity
+      const lint_cmd_run $ network_arg $ format $ min_severity
       $ no_compression $ list_checks)
 
 let verify_cmd =
@@ -579,13 +743,15 @@ let verify_cmd =
       & info [ "src" ] ~docv:"ROUTER" ~doc:"Source router name.")
   in
   Cmd.v
-    (Cmd.info "verify"
-       ~doc:"Answer a reachability query on the concrete and compressed network")
+    (cmd_info "verify"
+       ~doc:
+         "Answer a reachability query on the concrete and compressed \
+          network (exit 7 if they disagree)")
     Term.(const verify_cmd_run $ network_arg $ src $ ec_arg)
 
 let roles_cmd =
   Cmd.v
-    (Cmd.info "roles" ~doc:"Count unique router roles")
+    (cmd_info "roles" ~doc:"Count unique router roles")
     Term.(const roles_cmd_run $ network_arg)
 
 let policy_cmd =
@@ -602,7 +768,7 @@ let policy_cmd =
       & info [ "to" ] ~docv:"ROUTER" ~doc:"Sending neighbor.")
   in
   Cmd.v
-    (Cmd.info "policy"
+    (cmd_info "policy"
        ~doc:"Show an interface's routing policy and its BDD (paper Figure 10)")
     Term.(const policy_cmd_run $ network_arg $ from_arg $ to_arg $ ec_arg)
 
@@ -623,7 +789,7 @@ let trace_cmd =
     Arg.(value & flag & info [ "all" ] ~doc:"Follow every ECMP next hop.")
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Trace a packet through the data plane")
+    (cmd_info "trace" ~doc:"Trace a packet through the data plane")
     Term.(const trace_cmd_run $ network_arg $ src $ addr $ all)
 
 let explain_cmd =
@@ -640,7 +806,7 @@ let explain_cmd =
       & info [ "b" ] ~docv:"ROUTER" ~doc:"Second router.")
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Explain why two routers play different roles")
+    (cmd_info "explain" ~doc:"Explain why two routers play different roles")
     Term.(const explain_cmd_run $ network_arg $ a_arg $ b_arg $ ec_arg)
 
 let faults_cmd =
@@ -673,14 +839,16 @@ let faults_cmd =
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format (text|json).")
   in
   Cmd.v
-    (Cmd.info "faults"
+    (cmd_info "faults"
        ~doc:
          "Re-solve the network under link-failure scenarios and check the \
           abstraction stays sound under each (exit 1 iff any scenario \
-          disconnects a router, diverges, or breaks the abstraction)")
+          disconnects a router, diverges, or breaks the abstraction; a \
+          budget bounds the survey — scenarios it cannot afford are \
+          reported as skipped, exit 3)")
     Term.(
       const faults_cmd_run $ network_arg $ ec_arg $ k $ samples $ seed
-      $ format)
+      $ format $ budget_ms_arg $ budget_ticks_arg)
 
 let export_cmd =
   let path =
@@ -696,13 +864,13 @@ let export_cmd =
           ~doc:"Output format: our text format or Cisco-IOS flavor (text|ios).")
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"Write a network as a configuration file")
+    (cmd_info "export" ~doc:"Write a network as a configuration file")
     Term.(const export_cmd_run $ network_arg $ path $ format)
 
 let () =
   let doc = "Bonsai: control plane compression (SIGCOMM 2018 reproduction)" in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group
-          (Cmd.info "bonsai" ~version:"1.0.0" ~doc)
+          (Cmd.info "bonsai" ~version:"1.0.0" ~doc ~exits)
           [ info_cmd; compress_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd ]))

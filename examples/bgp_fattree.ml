@@ -10,7 +10,7 @@
 
 let compress_first_ec net =
   let ec = List.hd (Ecs.compute net) in
-  (ec, Bonsai_api.compress_ec net ec)
+  (ec, Bonsai_api.compress_ec_exn net ec)
 
 let report name net =
   let ec, r = compress_first_ec net in

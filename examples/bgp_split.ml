@@ -43,7 +43,7 @@ let () =
   let net = network () in
   let names = [| "d"; "b1"; "b2"; "b3"; "a" |] in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   let t = r.Bonsai_api.abstraction in
   Format.printf "concrete: 5 nodes, 6 links; abstract: %d nodes, %d links@.@."
     (Abstraction.n_abstract t)

@@ -16,7 +16,7 @@ let () =
   let net = Synthesis.fattree_shortest_path ft in
   let ec = List.hd (Ecs.compute net) in
   let dest = Ecs.single_origin ec in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   Format.printf "fattree k=4: %d nodes -> %d abstract nodes@.@."
     (Graph.n_nodes g) (Abstraction.n_abstract t);
 

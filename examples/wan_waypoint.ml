@@ -27,7 +27,7 @@ let () =
   Format.printf "destination class %a rooted at %s@." Prefix.pp
     ec.Ecs.ec_prefix (Graph.name g dest);
 
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   let t = r.Bonsai_api.abstraction in
   Format.printf "compressed to %d nodes / %d links in %.3fs@.@."
     (Abstraction.n_abstract t)

@@ -47,9 +47,11 @@ type man = {
   shift_memo : t Memo2.t;
   mutable quant_gen : int; (* distinguishes successive exists/forall calls *)
   mutable quant_vars : (int, unit) Hashtbl.t;
+  mutable budget : Budget.t;
+  mutable node_cap : int; (* max unique-table nodes; max_int = unbounded *)
 }
 
-let man ?(cache_size = 4096) () =
+let man ?(cache_size = 4096) ?(node_cap = max_int) () =
   {
     unique = Unique.create cache_size;
     next_id = 2;
@@ -63,7 +65,15 @@ let man ?(cache_size = 4096) () =
     shift_memo = Memo2.create cache_size;
     quant_gen = 0;
     quant_vars = Hashtbl.create 8;
+    budget = Budget.infinite;
+    node_cap;
   }
+
+let set_budget m b = m.budget <- b
+let set_node_cap m cap =
+  m.node_cap <- (match cap with Some c -> c | None -> max_int)
+
+let phase = "bdd"
 
 let clear_caches m =
   Memo1.reset m.not_memo;
@@ -87,6 +97,14 @@ let mk m v ~lo ~hi =
     match Unique.find_opt m.unique key with
     | Some n -> n
     | None ->
+      if Unique.length m.unique >= m.node_cap then
+        raise
+          (Budget.Exhausted
+             (Budget.info m.budget ~phase
+                ~note:
+                  (Printf.sprintf "unique-table node cap %d reached"
+                     m.node_cap)
+                ()));
       let n = Node { id = m.next_id; v; lo; hi } in
       m.next_id <- m.next_id + 1;
       Unique.replace m.unique key n;
@@ -108,6 +126,7 @@ let rec not_ m b =
     match Memo1.find_opt m.not_memo id with
     | Some r -> r
     | None ->
+      Budget.tick m.budget ~phase;
       let r = mk m v ~lo:(not_ m lo) ~hi:(not_ m hi) in
       Memo1.replace m.not_memo id r;
       r)
@@ -124,6 +143,7 @@ let apply m memo ~commutative ~short f =
       match Memo2.find_opt memo key with
       | Some r -> r
       | None ->
+        Budget.tick m.budget ~phase;
         let r =
           match (a, b) with
           | Node na, Node nb ->
@@ -187,6 +207,7 @@ let rec ite m c t e =
     match Memo3.find_opt m.ite_memo key with
     | Some r -> r
     | None ->
+      Budget.tick m.budget ~phase;
       let top_var =
         let vt = match t with Node n -> n.v | _ -> max_int in
         let ve = match e with Node n -> n.v | _ -> max_int in
@@ -216,6 +237,7 @@ let rec restrict m b ~var ~value =
       (match Memo3.find_opt m.restrict_memo key with
       | Some r -> r
       | None ->
+        Budget.tick m.budget ~phase;
         let r =
           mk m v ~lo:(restrict m lo ~var ~value) ~hi:(restrict m hi ~var ~value)
         in
@@ -240,6 +262,7 @@ let exists m vars b =
         match Memo2.find_opt m.exists_memo (id, gen) with
         | Some r -> r
         | None ->
+          Budget.tick m.budget ~phase;
           let r =
             if Hashtbl.mem set v then or_ m (go lo) (go hi)
             else mk m v ~lo:(go lo) ~hi:(go hi)
@@ -265,6 +288,7 @@ let rename_shift m b k =
         match Memo2.find_opt m.shift_memo (id, gen) with
         | Some r -> r
         | None ->
+          Budget.tick m.budget ~phase;
           if v + k < 0 then invalid_arg "Bdd.rename_shift: negative variable";
           let r = mk m (v + k) ~lo:(go lo) ~hi:(go hi) in
           Memo2.replace m.shift_memo (id, gen) r;
@@ -337,6 +361,7 @@ let rename_monotone m b f =
       match Memo2.find_opt m.shift_memo (id, gen) with
       | Some r -> r
       | None ->
+        Budget.tick m.budget ~phase;
         let r = mk m (f v) ~lo:(go lo) ~hi:(go hi) in
         Memo2.replace m.shift_memo (id, gen) r;
         r)

@@ -17,8 +17,26 @@ type t
 (** A BDD node, owned by some manager. Mixing nodes across managers is a
     programming error and is not detected. *)
 
-val man : ?cache_size:int -> unit -> man
-(** Fresh manager. [cache_size] seeds the internal hash tables. *)
+val man : ?cache_size:int -> ?node_cap:int -> unit -> man
+(** Fresh manager. [cache_size] seeds the internal hash tables;
+    [node_cap] bounds the unique table (see {!set_node_cap}). *)
+
+(** {1 Resource governance}
+
+    BDD operations can blow up exponentially on adversarial policies. A
+    manager optionally carries a {!Budget.t} — every uncached recursion
+    step of [apply]/[ite]/[not_]/[restrict]/[exists]/renaming consumes one
+    work tick — and a unique-table node cap. Both signal exhaustion by
+    raising [Budget.Exhausted]; callers at API boundaries convert this to
+    the typed [Bonsai_error.Budget_exceeded]. *)
+
+val set_budget : man -> Budget.t -> unit
+(** Install a budget on the manager ([Budget.infinite] to remove it). *)
+
+val set_node_cap : man -> int option -> unit
+(** Cap the number of interior nodes in the unique table ([None] removes
+    the cap). Creating a node beyond the cap raises [Budget.Exhausted]
+    with a note naming the cap. *)
 
 val clear_caches : man -> unit
 (** Drop operation caches (the unique table is retained, so equality of

@@ -141,6 +141,9 @@ type section =
   | S_topology
   | S_route_map of string
   | S_router of string
+  | S_skip
+      (* a diagnostic was recorded in the current section; its remaining
+         lines are ignored and parsing resumes at the next section header *)
 
 type pending_clause = {
   pc_seq : int;
@@ -170,8 +173,18 @@ let clause_line locs name i =
     Some l.clause_lines.(i)
   | _ -> None
 
-let parse text =
+let max_diagnostics = 20
+
+let parse_full text =
   let lines = String.split_on_char '\n' text in
+  (* Diagnostics, oldest first; capped so a hopeless file stays legible. *)
+  let diags = ref [] and n_diags = ref 0 in
+  let add_diag line msg =
+    if !n_diags < max_diagnostics then begin
+      diags := (line, msg) :: !diags;
+      incr n_diags
+    end
+  in
   (* Mutable parse state. *)
   let nodes : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let node_order = ref [] in
@@ -193,15 +206,15 @@ let parse text =
   let close_section () =
     match !section with
     | S_router name -> flush_router name
-    | S_none | S_topology | S_route_map _ -> ()
+    | S_none | S_topology | S_route_map _ | S_skip -> ()
   in
-  (try
-     List.iteri
-       (fun i raw ->
-         let lineno = i + 1 in
-         let line = String.trim raw in
-         if line = "" || line.[0] = '#' then ()
-         else
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else
+        try
            let indented = raw <> "" && (raw.[0] = ' ' || raw.[0] = '\t') in
            match (indented, tokens line) with
            | false, [ "topology" ] ->
@@ -225,6 +238,7 @@ let parse text =
            | false, _ -> error lineno "unknown section: %s" line
            | true, toks -> (
              match !section with
+             | S_skip -> ()
              | S_none -> error lineno "content before any section"
              | S_topology -> (
                match toks with
@@ -303,10 +317,21 @@ let parse text =
                      Route_map.Delete_community c :: cl.pc_actions
                  | _ -> error lineno "bad set community delete")
                | _ -> error lineno "bad route-map line: %s" line)
-             | S_router _ -> current_router := (lineno, toks) :: !current_router))
-       lines;
-     close_section ()
-   with Parse_error _ as e -> raise e);
+             | S_router _ -> current_router := (lineno, toks) :: !current_router)
+        with Parse_error (l, m) ->
+          add_diag l m;
+          (* drop the broken section: any router lines collected so far
+             belong to a stanza we can no longer trust *)
+          (match !section with
+          | S_router _ -> current_router := []
+          | _ -> ());
+          section := S_skip)
+    lines;
+  close_section ();
+  (* Scan errors leave nodes and route-maps incomplete; resolving against
+     them would only pile up cascading "unknown name" noise. *)
+  if !diags <> [] then Error (List.rev !diags)
+  else begin
   (* Build the graph. *)
   let b = Graph.Builder.create () in
   List.iter (fun name -> ignore (Graph.Builder.add_node b name)) (List.rev !node_order);
@@ -316,7 +341,10 @@ let parse text =
     | None -> error lineno "unknown node %s" name
   in
   List.iter
-    (fun (lineno, a, bn) -> Graph.Builder.add_link b (node a lineno) (node bn lineno))
+    (fun (lineno, a, bn) ->
+      try Graph.Builder.add_link b (node a lineno) (node bn lineno) with
+      | Parse_error (l, m) -> add_diag l m
+      | Invalid_argument m -> add_diag lineno m (* e.g. a self-loop *))
     (List.rev !links);
   let g = Graph.Builder.build b in
   let sorted_clauses name lineno =
@@ -347,6 +375,7 @@ let parse text =
       let acl_target = ref None in
       List.iter
         (fun (lineno, toks) ->
+          try
           match toks with
           | [ "ospf"; "area"; n ] -> (
             match int_of_string_opt n with
@@ -458,7 +487,8 @@ let parse text =
             in
             r := { !r with Device.redistribute = !r.Device.redistribute @ [ rd ] })
           | _ ->
-            error lineno "bad router line: %s" (String.concat " " toks))
+            error lineno "bad router line: %s" (String.concat " " toks)
+          with Parse_error (l, m) -> add_diag l m)
         body;
       router_arr.(v) <- !r)
     (List.rev !routers);
@@ -484,18 +514,29 @@ let parse text =
         List.rev_map (fun name -> (finished_rm name 0, name)) !rm_order;
     }
   in
-  match Device.validate net with
-  | Ok () -> (net, locs)
-  | Error e -> error 0 "invalid network: %s" e
+  match List.rev !diags with
+  | _ :: _ as ds -> Error ds
+  | [] -> (
+    match Device.validate net with
+    | Ok () -> Ok (net, locs)
+    | Error e -> Error [ (0, Printf.sprintf "invalid network: %s" e) ])
+  end
+
+let parse_full text =
+  (* A belt for whatever slips past the per-line recovery (the grammar
+     has no known way to get here, but parsers must not crash). *)
+  try parse_full text with
+  | Parse_error (l, m) -> Error [ (l, m) ]
+  | Invalid_argument m -> Error [ (0, m) ]
+
+let string_of_diags ds =
+  String.concat "\n"
+    (List.map
+       (fun (l, m) -> if l = 0 then m else Printf.sprintf "line %d: %s" l m)
+       ds)
 
 let parse_with_locs text =
-  match parse text with
-  | net_locs -> Ok net_locs
-  | exception Parse_error (line, msg) ->
-    Error (Printf.sprintf "line %d: %s" line msg)
-  | exception Invalid_argument msg ->
-    (* e.g. a self-loop rejected by the graph builder *)
-    Error msg
+  Result.map_error string_of_diags (parse_full text)
 
 let parse text = Result.map fst (parse_with_locs text)
 
@@ -503,13 +544,22 @@ let read_file path =
   match open_in path with
   | exception Sys_error e -> Error e
   | ic ->
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    Ok s
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Ok s
+        | exception (End_of_file | Sys_error _) ->
+          Error (Printf.sprintf "%s: unreadable (truncated or not a regular \
+                                 file)" path))
 
 let load path = Result.bind (read_file path) parse
 let load_with_locs path = Result.bind (read_file path) parse_with_locs
+
+let load_full path =
+  match read_file path with
+  | Ok text -> parse_full text
+  | Error e -> Error [ (0, e) ]
 
 let save ~path net =
   let oc = open_out path in

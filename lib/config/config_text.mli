@@ -38,7 +38,10 @@ val print : Device.network -> string
 (** Render a network. Identical route-maps are shared under one name. *)
 
 val parse : string -> (Device.network, string) result
-(** Parse a network; the error string includes a line number. *)
+(** Parse a network. The parser does not stop at the first problem: it
+    recovers at the next section header and collects up to 20 diagnostics
+    (see {!parse_full}); the error string joins them, one ["line N: msg"]
+    per line. *)
 
 val load : string -> (Device.network, string) result
 (** Read and parse a file. *)
@@ -76,6 +79,19 @@ val clause_line : loc_table -> string -> int -> int option
 
 val parse_with_locs : string -> (Device.network * loc_table, string) result
 val load_with_locs : string -> (Device.network * loc_table, string) result
+
+val parse_full :
+  string -> (Device.network * loc_table, (int * string) list) result
+(** Like {!parse_with_locs} but with structured diagnostics: each is a
+    (1-based line, message) pair — line 0 for file-level problems — in
+    source order, at most 20 per file. Scan-level errors skip the rest of
+    the offending section and resume at the next unindented section
+    header; name-resolution errors are collected per line. Never raises. *)
+
+val load_full :
+  string -> (Device.network * loc_table, (int * string) list) result
+(** Read and {!parse_full} a file; an unreadable file is a single
+    line-0 diagnostic. *)
 
 val save : path:string -> Device.network -> unit
 

@@ -120,6 +120,30 @@ let make net ~dest ~dest_prefix ~universe ~partition ~copies =
     universe;
   }
 
+let identity net ~dest ~dest_prefix ~universe =
+  let partition =
+    Union_split_find.discrete (Graph.n_nodes net.Device.graph)
+  in
+  make net ~dest ~dest_prefix ~universe ~partition ~copies:(fun _ -> 1)
+
+(* With every group a singleton and one copy each, nothing in the
+   identity abstraction depends on the destination except [dest],
+   [dest_prefix] and [abs_dest] — so a degraded run stamping out one
+   fallback per destination class can share a single skeleton instead of
+   rebuilding the (concrete-sized) abstract graph each time. *)
+let identity_family net ~universe =
+  let template = ref None in
+  fun ~dest ~dest_prefix ->
+    let t =
+      match !template with
+      | Some t -> t
+      | None ->
+        let t = identity net ~dest ~dest_prefix ~universe in
+        template := Some t;
+        t
+    in
+    { t with dest; dest_prefix; abs_dest = t.abs_of_group.(t.group_of.(dest)) }
+
 let repr_edge t a1 a2 =
   let reprs = group_edge_reprs t.net t.group_of in
   match Hashtbl.find_opt reprs (t.group_of_abs.(a1), t.group_of_abs.(a2)) with

@@ -38,6 +38,29 @@ val make :
     self-loop (they are dead transfers — see {!Refine}); between copies of
     a split group they become inter-copy edges. *)
 
+val identity :
+  Device.network ->
+  dest:int ->
+  dest_prefix:Prefix.t ->
+  universe:Policy_bdd.universe ->
+  t
+(** The identity abstraction: the discrete partition (every node its own
+    group, one copy each), so the abstract network {e is} the concrete
+    network. Trivially sound — it is the degradation fallback when
+    compression runs out of budget. *)
+
+val identity_family :
+  Device.network ->
+  universe:Policy_bdd.universe ->
+  dest:int ->
+  dest_prefix:Prefix.t ->
+  t
+(** [identity_family net ~universe] is a constructor of per-destination
+    identity abstractions that builds the (concrete-sized) skeleton only
+    once and stamps [dest]/[dest_prefix]/[abs_dest] per call — a degraded
+    [compress] over many destination classes is O(network) once, not per
+    class. *)
+
 val f : t -> int -> int
 (** The topology abstraction [f] on nodes (for split groups: the first
     copy; the per-solution refinement picks actual copies). *)

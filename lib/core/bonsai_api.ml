@@ -3,6 +3,13 @@ type ec_result = {
   abstraction : Abstraction.t;
   refine_stats : Refine.stats;
   time_s : float;
+  degraded : bool;
+}
+
+type degradation = {
+  deg_info : Budget.info;
+  deg_completed : int;
+  deg_total : int;
 }
 
 type summary = {
@@ -10,13 +17,26 @@ type summary = {
   bdd_time_s : float;
   results : ec_result list;
   skipped_anycast : int;
+  degradation : degradation option;
 }
 
-let compress_ec ?universe (net : Device.network) (ec : Ecs.ec) =
+let compress_ec_exn ?universe ?(budget = Budget.infinite)
+    (net : Device.network) (ec : Ecs.ec) =
   let dest = Ecs.single_origin ec in
   let t0 = Timing.now () in
+  let universe =
+    match universe with
+    | Some u -> u
+    | None -> Policy_bdd.universe_of_network net
+  in
+  (* The BDD encoding of interface policies is the first phase that can
+     blow up; the manager consumes the same budget as the later phases. *)
+  Bdd.set_budget universe.Policy_bdd.man budget;
+  Fun.protect ~finally:(fun () ->
+      Bdd.set_budget universe.Policy_bdd.man Budget.infinite)
+  @@ fun () ->
   let universe, signature =
-    Compile.edge_signatures ?universe net ~dest:ec.Ecs.ec_prefix
+    Compile.edge_signatures ~universe net ~dest:ec.Ecs.ec_prefix
   in
   let prefs_memo = Hashtbl.create 64 in
   let prefs u =
@@ -77,7 +97,7 @@ let compress_ec ?universe (net : Device.network) (ec : Ecs.ec) =
   in
   let live_self u v = (signature u v).Compile.sig_static in
   let partition, refine_stats =
-    Refine.find_partition net ~dest ~live_self ~signature ~prefs
+    Refine.find_partition net ~dest ~live_self ~budget ~signature ~prefs
   in
   let copies m =
     let cls = Union_split_find.find partition m in
@@ -88,11 +108,32 @@ let compress_ec ?universe (net : Device.network) (ec : Ecs.ec) =
     Abstraction.make net ~dest ~dest_prefix:ec.Ecs.ec_prefix ~universe
       ~partition ~copies
   in
-  { ec; abstraction; refine_stats; time_s = Timing.now () -. t0 }
+  { ec; abstraction; refine_stats; time_s = Timing.now () -. t0;
+    degraded = false }
 
-let compress ?keep_unmatched_comms ?(stride = 1) ?max_ecs ?(domains = 1)
-    (net : Device.network) =
-  let _, bdd_time_s =
+let compress_ec ?universe ?budget (net : Device.network) (ec : Ecs.ec) =
+  Bonsai_error.protect (fun () ->
+      try compress_ec_exn ?universe ?budget net ec
+      with Invalid_argument m ->
+        Bonsai_error.error (Bonsai_error.Compile_error m))
+
+let identity_ec ~identity_of (ec : Ecs.ec) =
+  let t0 = Timing.now () in
+  let abstraction =
+    Lazy.force identity_of ~dest:(Ecs.single_origin ec)
+      ~dest_prefix:ec.Ecs.ec_prefix
+  in
+  {
+    ec;
+    abstraction;
+    refine_stats = { Refine.iterations = 0; splits = 0 };
+    time_s = Timing.now () -. t0;
+    degraded = true;
+  }
+
+let compress_exn ?keep_unmatched_comms ?(stride = 1) ?max_ecs ?(domains = 1)
+    ?(budget = Budget.infinite) (net : Device.network) =
+  let universe0, bdd_time_s =
     Timing.time (fun () ->
         Policy_bdd.universe_of_network ?keep_unmatched_comms net)
   in
@@ -107,31 +148,82 @@ let compress ?keep_unmatched_comms ?(stride = 1) ?max_ecs ?(domains = 1)
     | Some k -> List.filteri (fun i _ -> i < k) ecs
   in
   let singles, anycast = List.partition (fun ec -> match ec.Ecs.ec_origins with [ _ ] -> true | _ -> false) ecs in
+  let skipped_anycast = List.length anycast in
   let run_chunk chunk =
     (* BDD managers are not shared across domains: each worker builds its
        own universe (cheap — it only scans the configurations). *)
     let universe = Policy_bdd.universe_of_network ?keep_unmatched_comms net in
-    List.map (fun ec -> compress_ec ~universe net ec) chunk
+    List.map (fun ec -> compress_ec_exn ~universe net ec) chunk
   in
-  let results =
-    if domains <= 1 then run_chunk singles
-    else begin
-      let chunks = Array.make domains [] in
-      List.iteri
-        (fun i ec -> chunks.(i mod domains) <- ec :: chunks.(i mod domains))
-        singles;
-      let workers =
-        Array.map
-          (fun chunk ->
-            let chunk = List.rev chunk in
-            Domain.spawn (fun () -> run_chunk chunk))
-          chunks
-      in
-      Array.to_list workers |> List.concat_map Domain.join
-      |> List.sort (fun a b -> Prefix.compare a.ec.Ecs.ec_prefix b.ec.Ecs.ec_prefix)
-    end
-  in
-  { net; bdd_time_s; results; skipped_anycast = List.length anycast }
+  if Budget.is_infinite budget then begin
+    let results =
+      if domains <= 1 then run_chunk singles
+      else begin
+        let chunks = Array.make domains [] in
+        List.iteri
+          (fun i ec -> chunks.(i mod domains) <- ec :: chunks.(i mod domains))
+          singles;
+        let workers =
+          Array.map
+            (fun chunk ->
+              let chunk = List.rev chunk in
+              Domain.spawn (fun () -> run_chunk chunk))
+            chunks
+        in
+        Array.to_list workers |> List.concat_map Domain.join
+        |> List.sort (fun a b -> Prefix.compare a.ec.Ecs.ec_prefix b.ec.Ecs.ec_prefix)
+      end
+    in
+    { net; bdd_time_s; results; skipped_anycast; degradation = None }
+  end
+  else begin
+    (* Budgeted runs are sequential: degradation needs a well-defined
+       "first class that ran out", and the budget is a single mutable
+       token not meant to be shared across domains. *)
+    let total = List.length singles in
+    (* Identity fallbacks use a fresh, un-budgeted universe — the
+       budgeted manager may be the very thing that ran out — and share
+       one skeleton across all degraded classes. *)
+    let identity_of =
+      lazy
+        (Abstraction.identity_family net
+           ~universe:(Policy_bdd.universe_of_network ?keep_unmatched_comms net))
+    in
+    let acc = ref [] in
+    let degradation = ref None in
+    let rec go = function
+      | [] -> ()
+      | ec :: rest -> (
+        match compress_ec_exn ~universe:universe0 ~budget net ec with
+        | r ->
+          acc := r :: !acc;
+          go rest
+        | exception Budget.Exhausted info ->
+          degradation :=
+            Some
+              {
+                deg_info = info;
+                deg_completed = List.length !acc;
+                deg_total = total;
+              };
+          List.iter
+            (fun ec -> acc := identity_ec ~identity_of ec :: !acc)
+            (ec :: rest))
+    in
+    go singles;
+    {
+      net;
+      bdd_time_s;
+      results = List.rev !acc;
+      skipped_anycast;
+      degradation = !degradation;
+    }
+  end
+
+let compress ?keep_unmatched_comms ?stride ?max_ecs ?domains ?budget net =
+  Bonsai_error.protect (fun () ->
+      compress_exn ?keep_unmatched_comms ?stride ?max_ecs ?domains ?budget
+        net)
 
 let float_stats f s =
   let xs = List.map f s.results in
@@ -248,7 +340,7 @@ let roles ?keep_unmatched_comms (net : Device.network) =
   Hashtbl.length seen
 
 let explain (net : Device.network) (ec : Ecs.ec) u v =
-  let r = compress_ec net ec in
+  let r = compress_ec_exn net ec in
   let t = r.abstraction in
   if t.Abstraction.group_of.(u) = t.Abstraction.group_of.(v) then []
   else begin
@@ -303,6 +395,17 @@ let explain (net : Device.network) (ec : Ecs.ec) u v =
     @ List.sort_uniq compare (List.map (describe (name v)) (diff ev eu))
   end
 
+let pp_degradation ppf d =
+  Format.fprintf ppf
+    "@[<v>DEGRADED: budget exhausted in phase %S after %d ticks%s@,\
+     %d/%d destination classes compressed; the rest fall back to the@,\
+     identity abstraction (abstract network = concrete network)@]"
+    d.deg_info.Budget.phase d.deg_info.Budget.ticks
+    (match d.deg_info.Budget.note with
+    | None -> ""
+    | Some n -> Printf.sprintf " (%s)" n)
+    d.deg_completed d.deg_total
+
 let pp_summary ppf s =
   let g = s.net.Device.graph in
   Format.fprintf ppf
@@ -316,4 +419,7 @@ let pp_summary ppf s =
     (mean_abs_links s) (stddev_abs_links s)
     (float_of_int (Graph.n_nodes g) /. max 1.0 (mean_abs_nodes s))
     (float_of_int (Graph.n_links g) /. max 1.0 (mean_abs_links s))
-    s.bdd_time_s (mean_time_per_ec s)
+    s.bdd_time_s (mean_time_per_ec s);
+  match s.degradation with
+  | None -> ()
+  | Some d -> Format.fprintf ppf "@,%a" pp_degradation d

@@ -10,6 +10,15 @@ type ec_result = {
   abstraction : Abstraction.t;
   refine_stats : Refine.stats;
   time_s : float;  (** wall-clock compression time for this class *)
+  degraded : bool;
+      (** [true] when compression ran out of budget and this class fell
+          back to the identity abstraction (see {!Abstraction.identity}) *)
+}
+
+type degradation = {
+  deg_info : Budget.info;  (** where/when the budget ran out *)
+  deg_completed : int;  (** classes fully compressed before exhaustion *)
+  deg_total : int;  (** classes attempted *)
 }
 
 type summary = {
@@ -19,30 +28,65 @@ type summary = {
           policy for the first class (the paper's "BDD time") *)
   results : ec_result list;
   skipped_anycast : int;  (** multi-origin classes (not supported) *)
+  degradation : degradation option;
+      (** [Some _] iff any class fell back to the identity abstraction *)
 }
 
 val compress_ec :
   ?universe:Policy_bdd.universe ->
+  ?budget:Budget.t ->
+  Device.network ->
+  Ecs.ec ->
+  (ec_result, Bonsai_error.t) result
+(** Compress one destination class. Never raises: an exhausted [budget]
+    (default infinite; also installed on the universe's BDD manager for
+    the duration of the call) is [Error (Budget_exceeded _)], an anycast
+    class is [Error (Compile_error _)]. *)
+
+val compress_ec_exn :
+  ?universe:Policy_bdd.universe ->
+  ?budget:Budget.t ->
   Device.network ->
   Ecs.ec ->
   ec_result
-(** Compress one destination class. @raise Invalid_argument on an anycast
-    class. *)
+(** Like {!compress_ec} but raising: [Budget.Exhausted] on exhaustion,
+    [Invalid_argument] on an anycast class. *)
 
 val compress :
   ?keep_unmatched_comms:bool ->
   ?stride:int ->
   ?max_ecs:int ->
   ?domains:int ->
+  ?budget:Budget.t ->
   Device.network ->
-  summary
+  (summary, Bonsai_error.t) result
 (** Compress every destination class. For sampling large networks,
     [stride] keeps every k-th class and [max_ecs] caps how many are
     processed. [keep_unmatched_comms] selects the naive attribute
     abstraction (see {!Policy_bdd.universe_of_network}). [domains] > 1
     processes classes in parallel on that many OCaml domains (destination
     classes are disjoint, exactly the parallelism the paper exploits, §7);
-    each domain owns a private BDD manager. *)
+    each domain owns a private BDD manager.
+
+    With a finite [budget], classes are processed {e sequentially}
+    (ignoring [domains], which would share the single budget token) and
+    exhaustion degrades gracefully instead of failing: the class that ran
+    out and every remaining class fall back to the identity abstraction
+    (marked [degraded]; always sound — the abstract network is the
+    concrete network, just without any compression benefit), and
+    [summary.degradation] records where the budget went. [Error] is
+    reserved for non-budget failures. *)
+
+val compress_exn :
+  ?keep_unmatched_comms:bool ->
+  ?stride:int ->
+  ?max_ecs:int ->
+  ?domains:int ->
+  ?budget:Budget.t ->
+  Device.network ->
+  summary
+(** Like {!compress} but unwrapped (budget exhaustion still degrades
+    rather than raising). *)
 
 (** {1 Reporting} *)
 
@@ -68,4 +112,12 @@ val explain :
     static routes, preference levels, or differing neighbor roles). Empty
     when the two routers share a role. *)
 
+val pp_degradation : Format.formatter -> degradation -> unit
+(** The degradation report: phase reached, work ticks consumed (plus the
+    exhaustion note, e.g. the partition size the refinement loop got to),
+    and how many classes were compressed before the fallback. Elapsed
+    wall-clock is deliberately omitted — the report is deterministic for a
+    deterministic budget. *)
+
 val pp_summary : Format.formatter -> summary -> unit
+(** Appends {!pp_degradation} when the summary is degraded. *)

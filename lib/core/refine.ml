@@ -3,8 +3,9 @@ type stats = { iterations : int; splits : int }
 let group_prefs ~prefs members =
   List.concat_map prefs members |> List.sort_uniq Int.compare
 
-let find_partition ?(live_self = fun _ _ -> false) (net : Device.network)
-    ~dest ~signature ~prefs =
+let find_partition ?(live_self = fun _ _ -> false)
+    ?(budget = Budget.infinite) (net : Device.network) ~dest ~signature
+    ~prefs =
   let g = net.Device.graph in
   let n = Graph.n_nodes g in
   let part = Union_split_find.create n in
@@ -57,6 +58,8 @@ let find_partition ?(live_self = fun _ _ -> false) (net : Device.network)
   let signature_fixpoint () =
     List.iter push (Union_split_find.class_ids part);
     while not (Queue.is_empty pending) do
+      Budget.tick budget ~phase:"refine";
+      Budget.check budget ~phase:"refine";
       incr iterations;
       let c = Queue.pop pending in
       Hashtbl.remove in_pending c;
@@ -93,8 +96,17 @@ let find_partition ?(live_self = fun _ _ -> false) (net : Device.network)
       (Union_split_find.class_ids part);
     !changed
   in
-  signature_fixpoint ();
-  while peel_live_self_edges () do
-    signature_fixpoint ()
-  done;
+  (try
+     signature_fixpoint ();
+     while peel_live_self_edges () do
+       signature_fixpoint ()
+     done
+   with Budget.Exhausted info ->
+     (* surface how far the fixpoint got: the degradation report prints
+        the partition size reached when the budget ran out *)
+     raise
+       (Budget.Exhausted
+          (Budget.with_note info
+             (Printf.sprintf "partition had %d/%d classes"
+                (Union_split_find.num_classes part) n))));
   (part, { iterations = !iterations; splits = !splits })

@@ -24,6 +24,7 @@ type stats = {
 
 val find_partition :
   ?live_self:(int -> int -> bool) ->
+  ?budget:Budget.t ->
   Device.network ->
   dest:int ->
   signature:(int -> int -> 'k) ->
@@ -35,7 +36,12 @@ val find_partition :
     at [u] ({!Compile.prefs}). [live_self u v] (default: never) marks
     edges whose transfer does not depend on the neighbor's label — static
     routes; classes containing such an internal edge are split, because
-    those self-loops cannot be dropped as dead. *)
+    those self-loops cannot be dropped as dead.
+
+    [budget] (default infinite) is consumed one tick per worklist
+    iteration; on exhaustion [Budget.Exhausted] is re-raised with a note
+    recording how many classes the partition had reached — the payload of
+    the CLI's degradation report. *)
 
 val group_prefs : prefs:(int -> int list) -> int list -> int list
 (** Union of [prefs] over the members of a class — the paper's

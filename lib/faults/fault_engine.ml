@@ -8,9 +8,10 @@ let survives sc ~dest = not (Scenario.mem_node sc dest)
 let derive (srp : 'a Srp.t) sc =
   Srp.map_graph srp (Scenario.apply srp.Srp.graph sc) ~dest:srp.Srp.dest
 
-let run ?max_steps (srp : 'a Srp.t) sc =
+let run ?max_steps ?(budget = Budget.infinite) (srp : 'a Srp.t) sc =
   let srp' = derive srp sc in
-  match Solver.solve ?max_steps srp' with
+  match Solver.solve ?max_steps ~budget srp' with
+  | Error (`Budget (info, _)) -> raise (Budget.Exhausted info)
   | Error (`Diverged d) -> Diverged d
   | Ok (sol, _) ->
     let n = Graph.n_nodes srp'.Srp.graph in
@@ -43,14 +44,21 @@ type 'a report = {
   n_stable : int;
   n_disconnected : int;
   n_diverged : int;
+  n_skipped : int;
   time_s : float;
 }
 
-let survey ?max_steps (srp : 'a Srp.t) plan =
+let survey ?max_steps ?(budget = Budget.infinite) (srp : 'a Srp.t) plan =
   let t0 = Timing.now () in
-  let outcomes =
-    List.map (fun sc -> (sc, run ?max_steps srp sc)) plan.scenarios
-  in
+  (* A budget exhaustion mid-survey truncates the scan rather than losing
+     the outcomes already computed; the report counts what was skipped. *)
+  let outcomes = ref [] in
+  (try
+     List.iter
+       (fun sc -> outcomes := (sc, run ?max_steps ~budget srp sc) :: !outcomes)
+       plan.scenarios
+   with Budget.Exhausted _ -> ());
+  let outcomes = List.rev !outcomes in
   let count p = List.length (List.filter (fun (_, o) -> p o) outcomes) in
   {
     plan;
@@ -58,5 +66,6 @@ let survey ?max_steps (srp : 'a Srp.t) plan =
     n_stable = count (function Stable _ -> true | _ -> false);
     n_disconnected = count (function Disconnected _ -> true | _ -> false);
     n_diverged = count (function Diverged _ -> true | _ -> false);
+    n_skipped = List.length plan.scenarios - List.length outcomes;
     time_s = Timing.now () -. t0;
   }

@@ -23,7 +23,12 @@ val derive : 'a Srp.t -> Scenario.t -> 'a Srp.t
 (** The surviving SRP: {!Scenario.apply} on the topology, everything else
     unchanged. *)
 
-val run : ?max_steps:int -> 'a Srp.t -> Scenario.t -> 'a outcome
+val run :
+  ?max_steps:int -> ?budget:Budget.t -> 'a Srp.t -> Scenario.t ->
+  'a outcome
+(** @raise Budget.Exhausted when the caller-supplied [budget] (default
+    infinite; distinct from the solver's internal [max_steps] cutoff,
+    whose exhaustion is classified as [Diverged]) runs out mid-solve. *)
 
 type plan = { scenarios : Scenario.t list; exhaustive : bool }
 
@@ -40,9 +45,14 @@ type 'a report = {
   n_stable : int;
   n_disconnected : int;
   n_diverged : int;
+  n_skipped : int;
+      (** planned scenarios not run because the budget ran out *)
   time_s : float;  (** wall clock for solving all scenarios *)
 }
 
-val survey : ?max_steps:int -> 'a Srp.t -> plan -> 'a report
+val survey :
+  ?max_steps:int -> ?budget:Budget.t -> 'a Srp.t -> plan -> 'a report
 (** Run every planned scenario ([scenarios/sec = List.length outcomes /.
-    time_s] is the bench metric). *)
+    time_s] is the bench metric). Exhaustion of [budget] truncates the
+    scan: outcomes computed so far are kept and the remainder counted in
+    [n_skipped] — [survey] itself never raises on exhaustion. *)

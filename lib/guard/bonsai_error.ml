@@ -1,0 +1,60 @@
+type t =
+  | Parse_error of { diagnostics : (int * string) list }
+  | Compile_error of string
+  | Budget_exceeded of Budget.info
+  | Divergence of string
+  | Soundness_break of string
+  | Internal of string
+
+exception Error of t
+
+let error e = raise (Error e)
+
+let exit_code = function
+  | Budget_exceeded _ -> 3
+  | Parse_error _ -> 4
+  | Compile_error _ -> 5
+  | Divergence _ -> 6
+  | Soundness_break _ -> 7
+  | Internal _ -> 9
+
+let class_name = function
+  | Parse_error _ -> "parse-error"
+  | Compile_error _ -> "compile-error"
+  | Budget_exceeded _ -> "budget-exceeded"
+  | Divergence _ -> "divergence"
+  | Soundness_break _ -> "soundness-break"
+  | Internal _ -> "internal"
+
+let of_exn = function
+  | Error e -> e
+  | Budget.Exhausted info -> Budget_exceeded info
+  | e -> Internal (Printexc.to_string e)
+
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception ((Stack_overflow | Out_of_memory) as e) ->
+    (* recoverable resource crashes are still typed, not fatal *)
+    Error (Internal (Printexc.to_string e))
+  | exception e -> Error (of_exn e)
+
+let pp ppf = function
+  | Parse_error { diagnostics } ->
+    Format.fprintf ppf "parse error (%d diagnostic%s):" (List.length diagnostics)
+      (if List.length diagnostics = 1 then "" else "s");
+    List.iter
+      (fun (line, msg) ->
+        if line > 0 then Format.fprintf ppf "@,  line %d: %s" line msg
+        else Format.fprintf ppf "@,  %s" msg)
+      diagnostics
+  | Compile_error msg -> Format.fprintf ppf "compile error: %s" msg
+  | Budget_exceeded { phase; ticks; elapsed_s; note } ->
+    Format.fprintf ppf "budget exceeded in phase %s after %d ticks (%.3fs)%s"
+      phase ticks elapsed_s
+      (match note with None -> "" | Some n -> "; " ^ n)
+  | Divergence msg -> Format.fprintf ppf "divergence: %s" msg
+  | Soundness_break msg -> Format.fprintf ppf "soundness break: %s" msg
+  | Internal msg -> Format.fprintf ppf "internal error: %s" msg
+
+let to_string e = Format.asprintf "@[<v>%a@]" pp e

@@ -1,0 +1,53 @@
+(** Typed error taxonomy for the Bonsai pipeline.
+
+    Historically the pipeline crashed via ad-hoc [failwith] and
+    [Invalid_argument]; production use needs errors a caller can branch on
+    and a CLI can map to stable exit codes. Every [Bonsai_api] entry point
+    returns [('a, Bonsai_error.t) result]; internal code may still raise
+    ({!Error}, [Budget.Exhausted]) but {!protect} converts anything that
+    crosses an API boundary into a value — including unexpected exceptions,
+    which become {!Internal} rather than escaping. *)
+
+type t =
+  | Parse_error of { diagnostics : (int * string) list }
+      (** configuration text rejected; one (line, message) per diagnostic,
+          in source order, at most 20 per file *)
+  | Compile_error of string
+      (** the parsed network cannot be compiled/compressed (invalid
+          topology reference, anycast destination class, ...) *)
+  | Budget_exceeded of Budget.info
+      (** a phase ran out of wall-clock, work ticks, BDD nodes, or was
+          cancelled; callers may degrade to the identity abstraction *)
+  | Divergence of string
+      (** the SRP solver found no stable solution (the message carries the
+          oscillation post-mortem) *)
+  | Soundness_break of string
+      (** an independent check contradicted the abstraction *)
+  | Internal of string  (** a bug: an unexpected exception, crash-proofed *)
+
+exception Error of t
+
+val error : t -> 'a
+(** [error e] raises {!Error}. *)
+
+val exit_code : t -> int
+(** Stable CLI exit code per class: budget 3, parse 4, compile 5,
+    divergence 6, soundness 7, internal 9. (Exit codes 0, 1, 124, 125 keep
+    their usual meanings: success, failed check/lint, CLI misuse, internal
+    cmdliner error.) *)
+
+val class_name : t -> string
+(** Short class tag: ["parse-error"], ["budget-exceeded"], ... *)
+
+val of_exn : exn -> t
+(** Map an arbitrary exception to the taxonomy: {!Error} unwraps,
+    [Budget.Exhausted] becomes [Budget_exceeded], anything else
+    [Internal]. *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a pipeline stage, converting every escaping exception via
+    {!of_exn}. The crash-proof boundary used by [Bonsai_api] and the
+    CLI. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -99,12 +99,18 @@ let diagnose (srp : 'a Srp.t) (labels : 'a option array) ~rounds =
   done;
   match !result with Some v -> v | None -> Inconclusive !r
 
-let solve ?(seed = 0) ?max_steps ?(diag_rounds = 64) (srp : 'a Srp.t) =
+let solve ?(seed = 0) ?max_steps ?(budget = Budget.infinite)
+    ?(diag_rounds = 64) (srp : 'a Srp.t) =
   let g = srp.Srp.graph in
   let n = Graph.n_nodes g in
   let max_steps =
     match max_steps with Some m -> m | None -> 64 * n * (n + 1)
   in
+  (* The classic [max_steps] cutoff is itself a (tick-only) budget; its
+     exhaustion means "possibly divergent" and triggers the post-mortem,
+     whereas exhaustion of the caller-supplied [budget] means "out of
+     resources" and returns the partial labeling as [`Budget]. *)
+  let step_budget = Budget.create ~max_ticks:max_steps () in
   let rng = Random.State.make [| seed; 0x50f7 |] in
   let labels : 'a option array = Array.make n None in
   if n > 0 then labels.(srp.Srp.dest) <- Some srp.Srp.init;
@@ -140,44 +146,53 @@ let solve ?(seed = 0) ?max_steps ?(diag_rounds = 64) (srp : 'a Srp.t) =
   let initial = Array.init n Fun.id in
   if seed <> 0 then shuffle rng initial;
   Array.iter push initial;
-  let steps = ref 0 and updates = ref 0 in
+  let updates = ref 0 in
   (* tail of the update trace, for the divergence diagnosis *)
   let trace = Queue.create () in
   let budget_ok = ref true in
-  while !budget_ok && not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    in_queue.(u) <- false;
-    incr steps;
-    if !steps > max_steps then budget_ok := false
-    else begin
-      let b = best u in
-      if not (label_equal srp labels.(u) b) then begin
-        labels.(u) <- b;
-        incr updates;
-        Queue.add (u, b) trace;
-        if Queue.length trace > trace_cap then ignore (Queue.pop trace);
-        (* Nodes whose choices mention u must re-evaluate. *)
-        Array.iter push (Graph.pred g u)
-      end
-    end
-  done;
+  let interrupted = ref None in
+  (try
+     while !budget_ok && not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       in_queue.(u) <- false;
+       Budget.tick budget ~phase:"solve";
+       (match Budget.tick step_budget ~phase:"solve-steps" with
+       | () -> ()
+       | exception Budget.Exhausted _ -> budget_ok := false);
+       if !budget_ok then begin
+         let b = best u in
+         if not (label_equal srp labels.(u) b) then begin
+           labels.(u) <- b;
+           incr updates;
+           Queue.add (u, b) trace;
+           if Queue.length trace > trace_cap then ignore (Queue.pop trace);
+           (* Nodes whose choices mention u must re-evaluate. *)
+           Array.iter push (Graph.pred g u)
+         end
+       end
+     done
+   with Budget.Exhausted info -> interrupted := Some info);
+  let steps = Budget.ticks step_budget in
   let sol = { Solution.srp; labels } in
-  if !budget_ok && Solution.is_stable sol then
-    Ok (sol, { steps = !steps; updates = !updates })
-  else begin
-    let diag_trace = List.of_seq (Queue.to_seq trace) in
-    (* diagnosis mutates a copy; [diag_sol] is the post-sweep labeling *)
-    let labels' = Array.copy labels in
-    let diag_verdict = diagnose srp labels' ~rounds:diag_rounds in
-    Error
-      (`Diverged
-        {
-          diag_sol = { Solution.srp; labels = labels' };
-          diag_steps = !steps;
-          diag_trace;
-          diag_verdict;
-        })
-  end
+  match !interrupted with
+  | Some info -> Error (`Budget (info, sol))
+  | None ->
+    if !budget_ok && Solution.is_stable sol then
+      Ok (sol, { steps; updates = !updates })
+    else begin
+      let diag_trace = List.of_seq (Queue.to_seq trace) in
+      (* diagnosis mutates a copy; [diag_sol] is the post-sweep labeling *)
+      let labels' = Array.copy labels in
+      let diag_verdict = diagnose srp labels' ~rounds:diag_rounds in
+      Error
+        (`Diverged
+          {
+            diag_sol = { Solution.srp; labels = labels' };
+            diag_steps = steps;
+            diag_trace;
+            diag_verdict;
+          })
+    end
 
 let pp_verdict ~graph ppf = function
   | Oscillation { period; participants } ->
@@ -195,11 +210,13 @@ let pp_diagnosis ppf d =
     (pp_verdict ~graph:d.diag_sol.Solution.srp.Srp.graph)
     d.diag_verdict
 
-let solve_exn ?seed ?max_steps ?diag_rounds srp =
-  match solve ?seed ?max_steps ?diag_rounds srp with
+let solve_exn ?seed ?max_steps ?budget ?diag_rounds srp =
+  match solve ?seed ?max_steps ?budget ?diag_rounds srp with
   | Ok (s, _) -> s
   | Error (`Diverged d) ->
-    Format.kasprintf failwith "Solver.solve_exn: %a" pp_diagnosis d
+    Bonsai_error.error
+      (Bonsai_error.Divergence (Format.asprintf "%a" pp_diagnosis d))
+  | Error (`Budget (info, _)) -> raise (Budget.Exhausted info)
 
 let solutions_sample ?(tries = 16) srp =
   let found = ref [] in

@@ -46,20 +46,29 @@ type 'a diagnosis = {
 val solve :
   ?seed:int ->
   ?max_steps:int ->
+  ?budget:Budget.t ->
   ?diag_rounds:int ->
   'a Srp.t ->
-  ('a Solution.t * stats, [ `Diverged of 'a diagnosis ]) result
+  ( 'a Solution.t * stats,
+    [ `Diverged of 'a diagnosis | `Budget of Budget.info * 'a Solution.t ] )
+  result
 (** [solve srp] computes a stable solution. [seed] permutes the activation
     order and neighbor tie-breaking (default 0: deterministic first-best).
     [max_steps] bounds node activations (default [64 * n * (n + 1)]);
-    [diag_rounds] bounds the post-mortem sweeps on divergence (default
-    64). *)
+    internally it is one more {!Budget} (ticks only) whose exhaustion
+    means "possibly divergent" and triggers the post-mortem bounded by
+    [diag_rounds] (default 64). The caller-supplied [budget] (wall clock /
+    ticks / cancellation, shared across a whole pipeline run) is consumed
+    one tick per activation; its exhaustion instead returns [`Budget] with
+    the exhaustion info and the partial (unstable) labeling reached so
+    far. [solve] never raises. *)
 
 val solve_exn :
-  ?seed:int -> ?max_steps:int -> ?diag_rounds:int -> 'a Srp.t ->
-  'a Solution.t
-(** @raise Failure on divergence, with the diagnosis (verdict, cycle
-    period, participating nodes) in the message. *)
+  ?seed:int -> ?max_steps:int -> ?budget:Budget.t -> ?diag_rounds:int ->
+  'a Srp.t -> 'a Solution.t
+(** @raise Bonsai_error.Error with [Divergence] on divergence (the
+    diagnosis in the message), and [Budget.Exhausted] on budget
+    exhaustion. *)
 
 val pp_verdict : graph:Graph.t -> Format.formatter -> verdict -> unit
 val pp_diagnosis : Format.formatter -> 'a diagnosis -> unit

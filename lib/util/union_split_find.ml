@@ -11,6 +11,14 @@ let create n =
   if n > 0 then Hashtbl.replace member_lists 0 (List.init n Fun.id);
   { n; cls = Array.make (max n 1) 0; member_lists; next_id = 1 }
 
+let discrete n =
+  if n < 0 then invalid_arg "Union_split_find.discrete: negative size";
+  let member_lists = Hashtbl.create (max 16 n) in
+  for x = 0 to n - 1 do
+    Hashtbl.replace member_lists x [ x ]
+  done;
+  { n; cls = Array.init (max n 1) Fun.id; member_lists; next_id = n }
+
 let length t = t.n
 
 let num_classes t = Hashtbl.length t.member_lists

@@ -14,6 +14,12 @@ val create : int -> t
     containing every element. [n] must be non-negative; [n = 0] gives an
     empty partition. *)
 
+val discrete : int -> t
+(** [discrete n] is the finest partition of [0 .. n-1]: every element its
+    own class. Equivalent to [create n] followed by splitting each element
+    out, but O(n) instead of quadratic (it backs the identity abstraction,
+    built once per destination class on degraded runs). *)
+
 val length : t -> int
 (** Number of elements (the [n] given to {!create}). *)
 

@@ -14,6 +14,8 @@ let solve_or_fail (type a) (srp : a Srp.t) : a Solution.t =
   | Ok (s, _) -> s
   | Error (`Diverged d) ->
     d.Solver.diag_sol (* judged unstable: all pairs unreachable *)
+  | Error (`Budget (_, partial)) ->
+    partial (* unstable partial labeling: counts as unreachable *)
 
 let check_pairs (type a) (sol : a Solution.t) =
   let n = Graph.n_nodes sol.Solution.srp.Srp.graph in
@@ -86,7 +88,7 @@ let concrete_all_pairs ?timeout_s ?protocol ?max_ecs net =
       (p, u, 0.0))
 
 let abstract_solution ?(protocol = `Bgp) ~universe (net : Device.network) ec =
-  let r = Bonsai_api.compress_ec ~universe net ec in
+  let r = Bonsai_api.compress_ec_exn ~universe net ec in
   let t = r.Bonsai_api.abstraction in
   match protocol with
   | `Bgp -> (r, `Bgp_sol (solve_or_fail (Abstraction.bgp_srp t)))

@@ -4,7 +4,7 @@
 
 let compress net =
   let ec = List.hd (Ecs.compute net) in
-  (ec, (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction)
+  (ec, (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction)
 
 let test_emitted_validates () =
   List.iter
@@ -57,7 +57,7 @@ let test_idempotent_on_plain_networks () =
           (fun e -> Prefix.equal e.Ecs.ec_prefix ec.Ecs.ec_prefix)
           (Ecs.compute emitted)
       in
-      let t' = (Bonsai_api.compress_ec emitted ec').Bonsai_api.abstraction in
+      let t' = (Bonsai_api.compress_ec_exn emitted ec').Bonsai_api.abstraction in
       Alcotest.(check int)
         (name ^ ": recompression is a no-op")
         (Graph.n_nodes emitted.Device.graph)
@@ -79,7 +79,7 @@ let test_idempotent_on_datacenter () =
       (fun e -> Prefix.equal e.Ecs.ec_prefix ec.Ecs.ec_prefix)
       (Ecs.compute emitted)
   in
-  let t' = (Bonsai_api.compress_ec emitted ec').Bonsai_api.abstraction in
+  let t' = (Bonsai_api.compress_ec_exn emitted ec').Bonsai_api.abstraction in
   Alcotest.(check int) "recompression is a no-op"
     (Graph.n_nodes emitted.Device.graph)
     (Abstraction.n_abstract t')
@@ -94,7 +94,7 @@ let test_statics_map_through () =
         Prefix.subset ec.Ecs.ec_prefix (Prefix.of_string "10.100.0.0/16"))
       (Ecs.compute net)
   in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   let emitted = Abstract_config.emit t in
   let with_static =
     Array.to_list emitted.Device.routers

@@ -33,7 +33,7 @@ let test_roundtrip_synthetics () =
 let test_roundtrip_emitted_abstract () =
   let net = Synthesis.fattree_shortest_path (Generators.fattree ~k:6) in
   let ec = List.hd (Ecs.compute net) in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   roundtrip "emitted abstract configs" (Abstract_config.emit t)
 
 let prop_roundtrip_random =
@@ -143,7 +143,7 @@ let test_parsed_network_compresses () =
   | Error e -> Alcotest.fail e
   | Ok net' ->
     let ec = List.hd (Ecs.compute net') in
-    let r = Bonsai_api.compress_ec net' ec in
+    let r = Bonsai_api.compress_ec_exn net' ec in
     Alcotest.(check int) "still 6 nodes" 6
       (Abstraction.n_abstract r.Bonsai_api.abstraction)
 

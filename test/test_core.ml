@@ -79,7 +79,7 @@ let test_check_passes_on_refined () =
   let g = Generators.fattree ~k:4 in
   let net = Synthesis.fattree_shortest_path g in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   let _, signature =
     Compile.edge_signatures
       ~universe:r.Bonsai_api.abstraction.Abstraction.universe net
@@ -97,7 +97,7 @@ let test_fattree_compresses_to_six () =
   let ft = Generators.fattree ~k:4 in
   let net = Synthesis.fattree_shortest_path ft in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   Alcotest.(check int) "abstract nodes" 6
     (Abstraction.n_abstract r.Bonsai_api.abstraction);
   Alcotest.(check int) "abstract links" 5
@@ -106,7 +106,7 @@ let test_fattree_compresses_to_six () =
 let test_mesh_compresses_to_two () =
   let net = Synthesis.mesh_bgp ~n:10 in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   Alcotest.(check int) "abstract nodes" 2
     (Abstraction.n_abstract r.Bonsai_api.abstraction);
   Alcotest.(check int) "abstract links" 1
@@ -115,7 +115,7 @@ let test_mesh_compresses_to_two () =
 let test_ring_compresses_to_half () =
   let net = Synthesis.ring_bgp ~n:10 in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   (* distances 0..5 with pairs merged: 6 abstract nodes for n=10 *)
   Alcotest.(check int) "abstract nodes" 6
     (Abstraction.n_abstract r.Bonsai_api.abstraction)
@@ -155,7 +155,7 @@ let gadget_net () =
 let test_gadget_prefs_split () =
   let net = gadget_net () in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   let t = r.Bonsai_api.abstraction in
   (* groups: {d}, {b1,b2,b3} with 2 copies, {a} -> 4 abstract nodes *)
   Alcotest.(check int) "abstract nodes" 4 (Abstraction.n_abstract t);
@@ -167,7 +167,7 @@ let test_gadget_prefs_split () =
 let test_gadget_equivalence () =
   let net = gadget_net () in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   let t = r.Bonsai_api.abstraction in
   let srp = Compile.bgp_srp net ~dest:0 ~dest_prefix:ec.Ecs.ec_prefix in
   (* multiple stable solutions exist; every one must map to the abstraction *)
@@ -189,7 +189,7 @@ let test_gadget_exhaustive_bisimulation () =
      solutions are compared up to permutation of a group's copies. *)
   let net = gadget_net () in
   let ec = List.hd (Ecs.compute net) in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   let srp = Compile.bgp_srp net ~dest:0 ~dest_prefix:ec.Ecs.ec_prefix in
   let concrete_sols = Solver.enumerate_solutions srp in
   Alcotest.(check int) "three concrete solutions" 3 (List.length concrete_sols);
@@ -281,7 +281,7 @@ let three_level_gadget () =
 let test_three_level_split_and_bound () =
   let net = three_level_gadget () in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   let t = r.Bonsai_api.abstraction in
   let bgroup = t.Abstraction.group_of.(1) in
   Alcotest.(check int) "three copies (|prefs| = 3)" 3
@@ -325,7 +325,7 @@ let test_ibgp_pair_merges () =
   in
   let net = { Device.graph = g; routers } in
   let ec = List.hd (Ecs.compute net) in
-  let r = Bonsai_api.compress_ec net ec in
+  let r = Bonsai_api.compress_ec_exn net ec in
   let t = r.Bonsai_api.abstraction in
   Alcotest.(check bool) "r1 ~ r2" true
     (t.Abstraction.group_of.(1) = t.Abstraction.group_of.(2));
@@ -346,7 +346,7 @@ let test_figure11_prefer_bottom_is_bigger () =
   let prefer = Synthesis.fattree_prefer_bottom ft in
   let size net =
     let ec = List.hd (Ecs.compute net) in
-    let r = Bonsai_api.compress_ec net ec in
+    let r = Bonsai_api.compress_ec_exn net ec in
     Abstraction.n_abstract r.Bonsai_api.abstraction
   in
   let s1 = size shortest and s2 = size prefer in
@@ -359,7 +359,7 @@ let test_figure11_prefer_bottom_is_bigger () =
 let test_abstraction_accessors () =
   let net = Synthesis.fattree_shortest_path (Generators.fattree ~k:4) in
   let ec = List.hd (Ecs.compute net) in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   (* f is onto the abstract node set for single-copy groups *)
   let hit = Array.make (Abstraction.n_abstract t) false in
   for u = 0 to Graph.n_nodes net.Device.graph - 1 do
@@ -394,7 +394,7 @@ let test_abstraction_accessors () =
 let test_h_attr_erasure () =
   let net = (Synthesis.datacenter ()).Synthesis.net in
   let ec = List.hd (Ecs.compute net) in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   (* community 1000 is attached by a leaf but matched nowhere: erased *)
   let a = { Bgp.init with Bgp.comms = [ 1000 ]; path = [ 3; 1 ] } in
   let h = Abstraction.h_attr t ~fr:(fun v -> v * 10) a in
@@ -413,8 +413,8 @@ let test_parallel_compression_deterministic () =
       s.Bonsai_api.results
     |> List.sort compare
   in
-  let seq = Bonsai_api.compress ~stride:3 net in
-  let par = Bonsai_api.compress ~stride:3 ~domains:3 net in
+  let seq = Bonsai_api.compress_exn ~stride:3 net in
+  let par = Bonsai_api.compress_exn ~stride:3 ~domains:3 net in
   Alcotest.(check (list (pair string int))) "same abstractions" (sizes seq)
     (sizes par);
   Alcotest.(check int) "same anycast count" seq.Bonsai_api.skipped_anycast

@@ -22,7 +22,7 @@ let compress_bare ?(signature = uniform_signature) ?(prefs = no_prefs) graph
     ~universe ~partition
     ~copies:(fun m -> List.length (prefs m))
 
-let compress_cfg net ec = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction
+let compress_cfg net ec = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction
 
 (* --- plain protocols on random graphs -------------------------------- *)
 
@@ -110,7 +110,7 @@ let prop_check_conditions_hold =
     (fun (n, seed) ->
       let net = Synthesis.random_network ~n ~seed in
       let ec = List.hd (Ecs.compute net) in
-      let r = Bonsai_api.compress_ec net ec in
+      let r = Bonsai_api.compress_ec_exn net ec in
       let _, signature =
         Compile.edge_signatures
           ~universe:r.Bonsai_api.abstraction.Abstraction.universe net

@@ -181,6 +181,7 @@ let bad_gadget_srp () =
 let test_diagnosis_oscillation () =
   match Solver.solve ~max_steps:2000 (bad_gadget_srp ()) with
   | Ok _ -> Alcotest.fail "bad gadget must not stabilize"
+  | Error (`Budget _) -> Alcotest.fail "max_steps must diagnose, not bail"
   | Error (`Diverged d) -> (
     Alcotest.(check bool) "spent the budget" true (d.Solver.diag_steps > 0);
     Alcotest.(check bool) "trace tail kept" true (d.Solver.diag_trace <> []);
@@ -197,6 +198,7 @@ let test_diagnosis_likely_convergent () =
      fixed point and says so instead of crying oscillation *)
   match Solver.solve ~max_steps:1 (Rip.make (ring 10) ~dest:0) with
   | Ok _ -> Alcotest.fail "one step cannot stabilize a 10-ring"
+  | Error (`Budget _) -> Alcotest.fail "max_steps must diagnose, not bail"
   | Error (`Diverged d) -> (
     match d.Solver.diag_verdict with
     | Solver.Likely_convergent -> ()
@@ -208,7 +210,7 @@ let test_diagnosis_likely_convergent () =
 let test_solve_exn_diagnosis_message () =
   match Solver.solve_exn ~max_steps:2000 (bad_gadget_srp ()) with
   | _ -> Alcotest.fail "bad gadget must not stabilize"
-  | exception Failure msg ->
+  | exception Bonsai_error.Error (Bonsai_error.Divergence msg) ->
     let has needle = Astring_contains.contains msg needle in
     Alcotest.(check bool) "names the step count" true (has "diverged after");
     Alcotest.(check bool) "names the oscillation" true (has "oscillation");
@@ -292,7 +294,7 @@ let test_soundness_fattree () =
   let net = Synthesis.fattree_shortest_path ft in
   let ec = List.hd (Ecs.compute net) in
   let dest = Ecs.single_origin ec in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   let concrete = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
   let abstract_ = Abstraction.bgp_srp t in
   let scenarios = Scenario.enumerate ~k:1 net.Device.graph in

@@ -109,6 +109,7 @@ let test_solver_budget_exhaustion () =
   let g = Generators.ring ~n:10 in
   match Solver.solve ~max_steps:1 (Rip.make g ~dest:0) with
   | Error (`Diverged _) -> ()
+  | Error (`Budget _) -> Alcotest.fail "max_steps must diagnose, not bail"
   | Ok _ -> Alcotest.fail "budget of 1 step cannot solve a 10-ring"
 
 let test_solution_choices () =
@@ -228,6 +229,7 @@ let test_bad_gadget_diverges () =
   match Solver.solve ~max_steps:20000 (bad_gadget_srp ()) with
   | Ok (sol, _) ->
     Alcotest.failf "unexpected stable solution:@ %a" Solution.pp sol
+  | Error (`Budget _) -> Alcotest.fail "max_steps must diagnose, not bail"
   | Error (`Diverged _) -> ()
 
 let test_divergence_across_seeds () =

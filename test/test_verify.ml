@@ -108,7 +108,7 @@ let test_dataplane_on_emitted_abstract_configs () =
      traces deliver exactly when the concrete ones do *)
   let net = Synthesis.fattree_shortest_path (Generators.fattree ~k:4) in
   let ec = List.hd (Ecs.compute net) in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   let emitted = Abstract_config.emit t in
   let dp = Dataplane.of_network emitted in
   let addr = Ipv4.of_string "10.0.0.1" in
@@ -248,7 +248,7 @@ let test_robust_agrees_with_abstraction () =
   (* quantifying over abstract solutions gives the same verdict *)
   let net = Synthesis.fattree_shortest_path (Generators.fattree ~k:4) in
   let ec = List.hd (Ecs.compute net) in
-  let t = (Bonsai_api.compress_ec net ec).Bonsai_api.abstraction in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
   let abs_srp = Abstraction.bgp_srp t in
   match
     Robust.for_all_solutions abs_srp (fun sol ->
@@ -352,7 +352,7 @@ let prop_all_pairs_agree_on_random_networks =
     (fun (n, seed) ->
       let net = Synthesis.random_network ~n ~seed in
       let ec = List.hd (Ecs.compute net) in
-      let r = Bonsai_api.compress_ec net ec in
+      let r = Bonsai_api.compress_ec_exn net ec in
       let t = r.Bonsai_api.abstraction in
       match Solver.solve (Compile.bgp_srp net ~dest:0 ~dest_prefix:ec.Ecs.ec_prefix) with
       | Error _ -> QCheck.assume_fail ()
