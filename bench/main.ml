@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- --help
 
    Subcommands: table1a table1b figure11 figure12 batfish-query
-   ablation-bdd ablation-uu faults micro all.
+   ablation-bdd ablation-uu faults harden micro all.
 
    Absolute numbers differ from the paper (different hardware, an
    explicit-state analysis client instead of SMT); EXPERIMENTS.md records
@@ -363,6 +363,38 @@ let faults ?samples () =
   row "Full mesh (n=20)" (Synthesis.mesh_bgp ~n:20)
 
 (* ------------------------------------------------------------------ *)
+(* Counterexample-guided repair overhead                               *)
+(* ------------------------------------------------------------------ *)
+
+let harden () =
+  hr "Hardening: fault-sound compression via counterexample-guided repair (k=1)";
+  Printf.printf "%-20s %8s %12s %8s %8s %8s %10s %10s %8s\n" "Topology" "nodes"
+    "plain abs." "rounds" "cex" "pins" "hard abs." "checks" "time";
+  Printf.printf "%s\n" (String.make 100 '-');
+  let row name (net : Device.network) =
+    let ec = List.hd (Ecs.compute net) in
+    let plain =
+      Abstraction.n_abstract
+        (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction
+    in
+    let r, dt = Timing.time (fun () -> Repair.harden_exn ~k:1 net ec) in
+    assert r.Repair.sound;
+    Printf.printf "%-20s %8d %12d %8d %8d %8d %10d %10d %7.2fs\n%!" name
+      (Graph.n_nodes net.Device.graph)
+      plain
+      (List.length r.Repair.rounds)
+      r.Repair.n_counterexamples
+      (List.length r.Repair.pins)
+      (Abstraction.n_abstract r.Repair.result.Bonsai_api.abstraction)
+      r.Repair.n_scenarios dt
+  in
+  row "Fattree (k=4)"
+    (Synthesis.fattree_shortest_path (Generators.fattree ~k:4));
+  row "Ring (n=20)" (Synthesis.ring_bgp ~n:20);
+  row "Ring (n=50)" (Synthesis.ring_bgp ~n:50);
+  row "Full mesh (n=10)" (Synthesis.mesh_bgp ~n:10)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core kernels                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -448,7 +480,7 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench/main.exe \
-       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|micro|all] \
+       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|micro|all] \
        [--timeout SECONDS] [--samples N]";
     exit 2
   in
@@ -482,6 +514,7 @@ let () =
       | "ablation-bdd" -> ablation_bdd ()
       | "ablation-uu" -> ablation_uu ()
       | "faults" -> faults ?samples:!samples ()
+      | "harden" -> harden ()
       | "micro" -> micro ()
       | "all" -> all ~timeout_s:!timeout_s ()
       | _ -> usage ())

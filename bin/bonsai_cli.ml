@@ -364,12 +364,17 @@ let faults_cmd_run spec ec_prefix k samples seed format budget_ms
   let name = Graph.name g in
   let srp = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
   let plan = Fault_engine.plan ?samples ~seed ~k g in
-  let report = Fault_engine.survey ~budget srp plan in
+  (* One concrete-side cache spans the survey and the soundness sweep:
+     the soundness check re-solves the same scenarios the survey just
+     solved (and shrinking probes sub-scenarios), so sharing avoids the
+     double work and the stats line reports how much was saved. *)
+  let cache = Fault_engine.cache () in
+  let report = Fault_engine.survey ~budget ~cache srp plan in
   let r = Bonsai_api.compress_ec_exn net ec in
   let t = r.Bonsai_api.abstraction in
   let abs_name = Graph.name t.Abstraction.abs_graph in
   let break_ =
-    Soundness.first_break t ~concrete:srp
+    Soundness.first_break t ~concrete:srp ~concrete_cache:cache
       ~abstract_:(Abstraction.bgp_srp t) plan.Fault_engine.scenarios
   in
   let n_scenarios = List.length plan.Fault_engine.scenarios in
@@ -509,15 +514,153 @@ let faults_cmd_run spec ec_prefix k samples seed format budget_ms
           (json_string (abs_name m.Soundness.mis_abs))
           m.Soundness.concrete_reaches m.Soundness.abstract_reaches);
     Format.printf "}@.");
-  Printf.eprintf "%d scenarios in %.3fs (%.0f scenarios/sec)\n" n_scenarios
-    report.Fault_engine.time_s
-    (float_of_int n_scenarios /. max 1e-9 report.Fault_engine.time_s);
+  Printf.eprintf "%d scenarios in %.3fs (%.0f scenarios/sec), %d cache hits\n"
+    n_scenarios report.Fault_engine.time_s
+    (float_of_int n_scenarios /. max 1e-9 report.Fault_engine.time_s)
+    (Fault_engine.cache_hits cache);
   if
     report.Fault_engine.n_disconnected + report.Fault_engine.n_diverged > 0
     || break_ <> None
   then 1
   else if report.Fault_engine.n_skipped > 0 then 3
   else 0
+
+(* --- harden ------------------------------------------------------------ *)
+
+let harden_cmd_run spec ec_prefix k rounds frontier samples seed format
+    budget_ms budget_ticks degrade =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
+  let budget = make_budget budget_ms budget_ticks in
+  let ec = find_ec net ec_prefix in
+  let dest = Ecs.single_origin ec in
+  let g = net.Device.graph in
+  let name = Graph.name g in
+  let r =
+    match Repair.harden ~k ~rounds ~frontier ?samples ~seed ~budget net ec with
+    | Ok r -> r
+    | Error e -> Bonsai_error.error e
+  in
+  let t = r.Repair.result.Bonsai_api.abstraction in
+  let rn, re = Repair.ratio r in
+  let pp_sc = Scenario.pp ~names:name in
+  let mode = if r.Repair.plan_exhaustive then "exhaustive" else "sampled" in
+  (match format with
+  | `Text ->
+    Format.printf "destination %a (originated at %s)@." Prefix.pp
+      ec.Ecs.ec_prefix (name dest);
+    Format.printf "topology: %d nodes, %d links@." (Graph.n_nodes g)
+      (Graph.n_links g);
+    Format.printf "harden: k=%d, %s scenarios, max %d repair round%s@."
+      r.Repair.k mode rounds
+      (if rounds = 1 then "" else "s");
+    List.iter
+      (fun (rl : Repair.round_log) ->
+        match rl.Repair.rl_counterexample with
+        | None ->
+          Format.printf "round %d: %d nodes, %d links; sound (%d scenarios)@."
+            rl.Repair.rl_round rl.Repair.rl_abs_nodes rl.Repair.rl_abs_links
+            rl.Repair.rl_scenarios
+        | Some sc ->
+          Format.printf
+            "round %d: %d nodes, %d links; counterexample %a (%d mismatched \
+             node%s); pinned %d (total %d)@."
+            rl.Repair.rl_round rl.Repair.rl_abs_nodes rl.Repair.rl_abs_links
+            pp_sc sc
+            (List.length rl.Repair.rl_mismatches)
+            (if List.length rl.Repair.rl_mismatches = 1 then "" else "s")
+            (List.length rl.Repair.rl_new_pins)
+            rl.Repair.rl_total_pins)
+      r.Repair.rounds;
+    Format.printf "hardened: %d/%d nodes, %d/%d links (%.1fx / %.1fx)@."
+      (Graph.n_nodes g) (Abstraction.n_abstract t)
+      (Graph.n_links g)
+      (Graph.n_links t.Abstraction.abs_graph)
+      rn re;
+    Format.printf
+      "rounds: %d, counterexamples: %d, pins: %d, scenario checks: %d, \
+       cache hits: %d@."
+      (List.length r.Repair.rounds)
+      r.Repair.n_counterexamples
+      (List.length r.Repair.pins)
+      r.Repair.n_scenarios r.Repair.cache_hits;
+    (match r.Repair.fallback with
+    | Bonsai_api.No_fallback ->
+      if r.Repair.sound then
+        Format.printf "fault soundness: ok (every swept scenario agrees)@."
+      else begin
+        Format.printf "fault soundness: BROKEN (repair disabled)@.";
+        match List.rev r.Repair.rounds with
+        | { Repair.rl_counterexample = Some sc; rl_mismatches = m :: _; _ }
+          :: _ ->
+          Format.printf "  minimal failing scenario: %a@." pp_sc sc;
+          Format.printf "  first diverging pair: %s vs %s@."
+            (name m.Soundness.mis_node)
+            (Graph.name t.Abstraction.abs_graph m.Soundness.mis_abs)
+        | _ -> ()
+      end
+    | Bonsai_api.Budget_fallback info ->
+      Format.printf "@[<v>%a@]@." Bonsai_api.pp_degradation
+        { Bonsai_api.deg_info = info; deg_completed = 0; deg_total = 1 }
+    | Bonsai_api.Rounds_fallback ->
+      Format.printf
+        "DEGRADED: %d repair rounds exhausted; fell back to the identity \
+         abstraction (sound, no compression)@."
+        rounds)
+  | `Json ->
+    let round_json (rl : Repair.round_log) =
+      Printf.sprintf
+        "{\"round\":%d,\"abs_nodes\":%d,\"abs_links\":%d,\"scenarios\":%d,%s\
+         \"new_pins\":[%s],\"total_pins\":%d}"
+        rl.Repair.rl_round rl.Repair.rl_abs_nodes rl.Repair.rl_abs_links
+        rl.Repair.rl_scenarios
+        (match rl.Repair.rl_counterexample with
+        | None -> ""
+        | Some sc ->
+          Printf.sprintf "\"counterexample\":%s,\"mismatches\":%d,"
+            (scenario_json ~names:name sc)
+            (List.length rl.Repair.rl_mismatches))
+        (String.concat ","
+           (List.map (fun u -> json_string (name u)) rl.Repair.rl_new_pins))
+        rl.Repair.rl_total_pins
+    in
+    Format.printf "{@.";
+    Format.printf "  \"destination\": %s,@."
+      (json_string (Format.asprintf "%a" Prefix.pp ec.Ecs.ec_prefix));
+    Format.printf "  \"nodes\": %d, \"links\": %d,@." (Graph.n_nodes g)
+      (Graph.n_links g);
+    Format.printf "  \"k\": %d, \"mode\": %s,@." r.Repair.k
+      (json_string mode);
+    Format.printf "  \"rounds\": [%s],@."
+      (String.concat "," (List.map round_json r.Repair.rounds));
+    Format.printf "  \"pins\": [%s],@."
+      (String.concat ","
+         (List.map (fun u -> json_string (name u)) r.Repair.pins));
+    Format.printf
+      "  \"counterexamples\": %d, \"scenario_checks\": %d, \"cache_hits\": \
+       %d,@."
+      r.Repair.n_counterexamples r.Repair.n_scenarios r.Repair.cache_hits;
+    Format.printf "  \"sound\": %b, \"fallback\": %s,@." r.Repair.sound
+      (json_string
+         (match r.Repair.fallback with
+         | Bonsai_api.No_fallback -> "none"
+         | Bonsai_api.Budget_fallback _ -> "budget"
+         | Bonsai_api.Rounds_fallback -> "rounds"));
+    Format.printf
+      "  \"abstraction\": {\"nodes\": %d, \"links\": %d, \"ratio_nodes\": \
+       %.2f, \"ratio_links\": %.2f}@."
+      (Abstraction.n_abstract t)
+      (Graph.n_links t.Abstraction.abs_graph)
+      rn re;
+    Format.printf "}@.");
+  let degrade_exit code = if degrade then 0 else code in
+  match r.Repair.fallback with
+  | Bonsai_api.Budget_fallback _ -> degrade_exit 3
+  | Bonsai_api.Rounds_fallback ->
+    degrade_exit (Bonsai_error.exit_code (Bonsai_error.Soundness_break ""))
+  | Bonsai_api.No_fallback ->
+    if r.Repair.sound then 0
+    else Bonsai_error.exit_code (Bonsai_error.Soundness_break "")
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -850,6 +993,64 @@ let faults_cmd =
       const faults_cmd_run $ network_arg $ ec_arg $ k $ samples $ seed
       $ format $ budget_ms_arg $ budget_ticks_arg)
 
+let harden_cmd =
+  let k =
+    Arg.(
+      value & opt int 1
+      & info [ "k"; "kmax" ] ~docv:"K"
+          ~doc:"Maximum number of simultaneous link failures per scenario.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:
+            "Maximum repair rounds (recompressions with a grown pin set). \
+             0 disables repair: the sweep only diagnoses, and a \
+             counterexample exits 7 with the unrepaired abstraction.")
+  in
+  let frontier =
+    Arg.(
+      value & opt int 1024
+      & info [ "frontier" ] ~docv:"N"
+          ~doc:
+            "Exhaustive-enumeration cap: a scenario space at most this \
+             large is swept completely, a larger one is importance-sampled.")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ] ~docv:"N"
+          ~doc:
+            "Initial sample size past the frontier (default 64; doubles \
+             every repair round).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format (text|json).")
+  in
+  Cmd.v
+    (cmd_info "harden"
+       ~doc:
+         "Compress with counterexample-guided repair until the abstraction \
+          is sound under every swept failure scenario: on a soundness break \
+          the disagreeing routers are pinned into singleton roles and the \
+          network is recompressed. Budget or round exhaustion degrades to \
+          the identity abstraction (sound, no compression; exit 3 or 7, or \
+          0 under $(b,--degrade)) rather than emitting an unsound result.")
+    Term.(
+      const harden_cmd_run $ network_arg $ ec_arg $ k $ rounds $ frontier
+      $ samples $ seed $ format $ budget_ms_arg $ budget_ticks_arg
+      $ degrade_arg)
+
 let export_cmd =
   let path =
     Arg.(
@@ -873,4 +1074,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc ~exits)
-          [ info_cmd; compress_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd ]))
+          [ info_cmd; compress_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd ]))

@@ -144,6 +144,9 @@ let identity_family net ~universe =
     in
     { t with dest; dest_prefix; abs_dest = t.abs_of_group.(t.group_of.(dest)) }
 
+let is_identity t =
+  Array.for_all (function [ _ ] -> true | _ -> false) t.groups
+
 let repr_edge t a1 a2 =
   let reprs = group_edge_reprs t.net t.group_of in
   match Hashtbl.find_opt reprs (t.group_of_abs.(a1), t.group_of_abs.(a2)) with

@@ -61,6 +61,11 @@ val identity_family :
     [compress] over many destination classes is O(network) once, not per
     class. *)
 
+val is_identity : t -> bool
+(** Every group is a singleton (hence one copy each): the abstract
+    network is the concrete network. Holds for {!identity} and for any
+    refinement that pinned every node (see {!Refine.find_partition}). *)
+
 val f : t -> int -> int
 (** The topology abstraction [f] on nodes (for split groups: the first
     copy; the per-solution refinement picks actual copies). *)

@@ -20,7 +20,7 @@ type summary = {
   degradation : degradation option;
 }
 
-let compress_ec_exn ?universe ?(budget = Budget.infinite)
+let compress_ec_exn ?universe ?pinned ?(budget = Budget.infinite)
     (net : Device.network) (ec : Ecs.ec) =
   let dest = Ecs.single_origin ec in
   let t0 = Timing.now () in
@@ -97,7 +97,8 @@ let compress_ec_exn ?universe ?(budget = Budget.infinite)
   in
   let live_self u v = (signature u v).Compile.sig_static in
   let partition, refine_stats =
-    Refine.find_partition net ~dest ~live_self ~budget ~signature ~prefs
+    Refine.find_partition net ~dest ~live_self ?pinned ~budget ~signature
+      ~prefs
   in
   let copies m =
     let cls = Union_split_find.find partition m in
@@ -111,9 +112,10 @@ let compress_ec_exn ?universe ?(budget = Budget.infinite)
   { ec; abstraction; refine_stats; time_s = Timing.now () -. t0;
     degraded = false }
 
-let compress_ec ?universe ?budget (net : Device.network) (ec : Ecs.ec) =
+let compress_ec ?universe ?pinned ?budget (net : Device.network)
+    (ec : Ecs.ec) =
   Bonsai_error.protect (fun () ->
-      try compress_ec_exn ?universe ?budget net ec
+      try compress_ec_exn ?universe ?pinned ?budget net ec
       with Invalid_argument m ->
         Bonsai_error.error (Bonsai_error.Compile_error m))
 
@@ -224,6 +226,52 @@ let compress ?keep_unmatched_comms ?stride ?max_ecs ?domains ?budget net =
   Bonsai_error.protect (fun () ->
       compress_exn ?keep_unmatched_comms ?stride ?max_ecs ?domains ?budget
         net)
+
+(* --- fault-sound compression (CEGAR repair, lib/repair) -------------- *)
+
+type hardened = {
+  h_result : ec_result;
+  h_rounds : int;
+  h_pins : int list;
+  h_counterexamples : int;
+  h_scenarios : int;
+  h_cache_hits : int;
+  h_fallback : fallback;
+  h_sound : bool;
+}
+
+and fallback = No_fallback | Budget_fallback of Budget.info | Rounds_fallback
+
+type fault_sound_fn =
+  ?k:int ->
+  ?rounds:int ->
+  ?frontier:int ->
+  ?samples:int ->
+  ?seed:int ->
+  ?budget:Budget.t ->
+  Device.network ->
+  Ecs.ec ->
+  (hardened, Bonsai_error.t) result
+
+(* The repair loop needs lib/faults (scenarios, soundness sweeps), which
+   sits above this library; Repair (lib/repair) registers the real
+   implementation at link time. A library-level forward reference, not a
+   per-call hook: any executable linking repro_repair gets the loop. *)
+let fault_sound_impl : fault_sound_fn ref =
+  ref (fun ?k:_ ?rounds:_ ?frontier:_ ?samples:_ ?seed:_ ?budget:_ _ _ ->
+      Error
+        (Bonsai_error.Internal
+           "compress_fault_sound: repro_repair is not linked (Repair \
+            registers the implementation)"))
+
+let register_fault_sound f = fault_sound_impl := f
+
+let compress_fault_sound ?k ?rounds ?frontier ?samples ?seed ?budget net ec
+    =
+  !fault_sound_impl ?k ?rounds ?frontier ?samples ?seed ?budget net ec
+
+let hardened_ratio h =
+  Abstraction.compression_ratio h.h_result.abstraction
 
 let float_stats f s =
   let xs = List.map f s.results in

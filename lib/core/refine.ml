@@ -3,13 +3,20 @@ type stats = { iterations : int; splits : int }
 let group_prefs ~prefs members =
   List.concat_map prefs members |> List.sort_uniq Int.compare
 
-let find_partition ?(live_self = fun _ _ -> false)
+let find_partition ?(live_self = fun _ _ -> false) ?(pinned = [])
     ?(budget = Budget.infinite) (net : Device.network) ~dest ~signature
     ~prefs =
   let g = net.Device.graph in
   let n = Graph.n_nodes g in
   let part = Union_split_find.create n in
   if n > 1 then ignore (Union_split_find.split part [ dest ]);
+  (* Pins seed the partition with forced singletons. Refinement only
+     splits classes, so pinned nodes stay alone in the fixpoint, and a
+     larger pin set always yields a (weakly) finer partition — the
+     monotonicity the CEGAR repair loop (lib/repair) relies on. *)
+  List.iter
+    (fun u -> ignore (Union_split_find.pin part u))
+    (List.sort_uniq Int.compare pinned);
   let iterations = ref 0 and splits = ref 0 in
   (* Worklist of classes to (re)examine. A node's key depends on its own
      interface signatures (fixed) and on the class ids of its successors,

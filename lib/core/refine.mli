@@ -24,6 +24,7 @@ type stats = {
 
 val find_partition :
   ?live_self:(int -> int -> bool) ->
+  ?pinned:int list ->
   ?budget:Budget.t ->
   Device.network ->
   dest:int ->
@@ -37,6 +38,13 @@ val find_partition :
     edges whose transfer does not depend on the neighbor's label — static
     routes; classes containing such an internal edge are split, because
     those self-loops cannot be dropped as dead.
+
+    [pinned] (default none) seeds the partition with forced singleton
+    classes: each pinned node is split out before refinement starts and —
+    because refinement only ever splits — stays a singleton in the
+    result. Pinning is monotone: a superset of pins produces a (weakly)
+    finer partition, so a repair loop that only grows its pin set
+    terminates at the discrete partition in the worst case.
 
     [budget] (default infinite) is consumed one tick per worklist
     iteration; on exhaustion [Budget.Exhausted] is re-raised with a note

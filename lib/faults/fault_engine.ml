@@ -8,7 +8,19 @@ let survives sc ~dest = not (Scenario.mem_node sc dest)
 let derive (srp : 'a Srp.t) sc =
   Srp.map_graph srp (Scenario.apply srp.Srp.graph sc) ~dest:srp.Srp.dest
 
-let run ?max_steps ?(budget = Budget.infinite) (srp : 'a Srp.t) sc =
+(* Scenarios are normalized (sorted, deduplicated failure sets), so the
+   scenario itself is the cache key: two syntactically different failure
+   lists naming the same downed set hit the same entry. *)
+type 'a cache = {
+  tbl : (Scenario.t, 'a outcome) Hashtbl.t;
+  mutable hits : int;
+}
+
+let cache () = { tbl = Hashtbl.create 64; hits = 0 }
+let cache_hits c = c.hits
+let cache_size c = Hashtbl.length c.tbl
+
+let solve_scenario ?max_steps ~budget (srp : 'a Srp.t) sc =
   let srp' = derive srp sc in
   match Solver.solve ?max_steps ~budget srp' with
   | Error (`Budget (info, _)) -> raise (Budget.Exhausted info)
@@ -22,6 +34,19 @@ let run ?max_steps ?(budget = Budget.infinite) (srp : 'a Srp.t) sc =
       then stranded := u :: !stranded
     done;
     if !stranded = [] then Stable sol else Disconnected (sol, !stranded)
+
+let run ?max_steps ?(budget = Budget.infinite) ?cache (srp : 'a Srp.t) sc =
+  match cache with
+  | None -> solve_scenario ?max_steps ~budget srp sc
+  | Some c -> (
+    match Hashtbl.find_opt c.tbl sc with
+    | Some outcome ->
+      c.hits <- c.hits + 1;
+      outcome
+    | None ->
+      let outcome = solve_scenario ?max_steps ~budget srp sc in
+      Hashtbl.replace c.tbl sc outcome;
+      outcome)
 
 type plan = { scenarios : Scenario.t list; exhaustive : bool }
 
@@ -45,17 +70,21 @@ type 'a report = {
   n_disconnected : int;
   n_diverged : int;
   n_skipped : int;
+  n_cache_hits : int;
   time_s : float;
 }
 
-let survey ?max_steps ?(budget = Budget.infinite) (srp : 'a Srp.t) plan =
+let survey ?max_steps ?(budget = Budget.infinite) ?cache (srp : 'a Srp.t)
+    plan =
   let t0 = Timing.now () in
+  let hits0 = match cache with Some c -> c.hits | None -> 0 in
   (* A budget exhaustion mid-survey truncates the scan rather than losing
      the outcomes already computed; the report counts what was skipped. *)
   let outcomes = ref [] in
   (try
      List.iter
-       (fun sc -> outcomes := (sc, run ?max_steps ~budget srp sc) :: !outcomes)
+       (fun sc ->
+         outcomes := (sc, run ?max_steps ~budget ?cache srp sc) :: !outcomes)
        plan.scenarios
    with Budget.Exhausted _ -> ());
   let outcomes = List.rev !outcomes in
@@ -67,5 +96,6 @@ let survey ?max_steps ?(budget = Budget.infinite) (srp : 'a Srp.t) plan =
     n_disconnected = count (function Disconnected _ -> true | _ -> false);
     n_diverged = count (function Diverged _ -> true | _ -> false);
     n_skipped = List.length plan.scenarios - List.length outcomes;
+    n_cache_hits = (match cache with Some c -> c.hits - hits0 | None -> 0);
     time_s = Timing.now () -. t0;
   }

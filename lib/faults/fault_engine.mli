@@ -23,10 +23,27 @@ val derive : 'a Srp.t -> Scenario.t -> 'a Srp.t
 (** The surviving SRP: {!Scenario.apply} on the topology, everything else
     unchanged. *)
 
+type 'a cache
+(** Memo table for {!run}, keyed by the scenario's normalized downed set
+    (scenarios are canonical: sorted, deduplicated). A cache is only
+    meaningful for a fixed [(srp, max_steps)] pair — the caller owns that
+    invariant. The repair loop (lib/repair) threads one concrete-side
+    cache across all of its rounds so a scenario is never re-solved
+    twice, and [bonsai faults] shares one between the survey and the
+    soundness sweep. *)
+
+val cache : unit -> 'a cache
+val cache_hits : 'a cache -> int
+(** Lifetime hit count (solves avoided). *)
+
+val cache_size : 'a cache -> int
+(** Distinct scenarios solved through the cache. *)
+
 val run :
-  ?max_steps:int -> ?budget:Budget.t -> 'a Srp.t -> Scenario.t ->
-  'a outcome
-(** @raise Budget.Exhausted when the caller-supplied [budget] (default
+  ?max_steps:int -> ?budget:Budget.t -> ?cache:'a cache -> 'a Srp.t ->
+  Scenario.t -> 'a outcome
+(** A cache hit consumes no budget.
+    @raise Budget.Exhausted when the caller-supplied [budget] (default
     infinite; distinct from the solver's internal [max_steps] cutoff,
     whose exhaustion is classified as [Diverged]) runs out mid-solve. *)
 
@@ -47,11 +64,14 @@ type 'a report = {
   n_diverged : int;
   n_skipped : int;
       (** planned scenarios not run because the budget ran out *)
+  n_cache_hits : int;
+      (** scenarios answered from the supplied [cache] (0 without one) *)
   time_s : float;  (** wall clock for solving all scenarios *)
 }
 
 val survey :
-  ?max_steps:int -> ?budget:Budget.t -> 'a Srp.t -> plan -> 'a report
+  ?max_steps:int -> ?budget:Budget.t -> ?cache:'a cache -> 'a Srp.t ->
+  plan -> 'a report
 (** Run every planned scenario ([scenarios/sec = List.length outcomes /.
     time_s] is the bench metric). Exhaustion of [budget] truncates the
     scan: outcomes computed so far are kept and the remainder counted in

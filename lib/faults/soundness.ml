@@ -13,30 +13,32 @@ let abstract_scenario (t : Abstraction.t) sc =
     (List.concat_map (Abstraction.link_image t) sc.Scenario.down_links)
 
 (* reachability vector of a re-solved SRP; divergence reaches nothing *)
-let solve_reaches ?max_steps (srp : 'a Srp.t) sc =
-  match Fault_engine.run ?max_steps srp sc with
+let solve_reaches ?max_steps ?cache (srp : 'a Srp.t) sc =
+  match Fault_engine.run ?max_steps ?cache srp sc with
   | Fault_engine.Stable sol -> (true, fun u -> u = srp.Srp.dest || Solution.reaches sol u)
   | Fault_engine.Disconnected (sol, _) ->
     (true, fun u -> u = srp.Srp.dest || Solution.reaches sol u)
   | Fault_engine.Diverged _ -> (false, fun u -> u = srp.Srp.dest)
 
-let check ?max_steps (t : Abstraction.t) ~(concrete : 'a Srp.t)
-    ~(abstract_ : 'b Srp.t) sc =
+let check_all ?max_steps ?concrete_cache ?abstract_cache (t : Abstraction.t)
+    ~(concrete : 'a Srp.t) ~(abstract_ : 'b Srp.t) sc =
   let abs_sc = abstract_scenario t sc in
-  let concrete_stable, c_reaches = solve_reaches ?max_steps concrete sc in
-  let abstract_stable, a_reaches = solve_reaches ?max_steps abstract_ abs_sc in
+  let concrete_stable, c_reaches =
+    solve_reaches ?max_steps ?cache:concrete_cache concrete sc
+  in
+  let abstract_stable, a_reaches =
+    solve_reaches ?max_steps ?cache:abstract_cache abstract_ abs_sc
+  in
   let n = Graph.n_nodes concrete.Srp.graph in
-  let rec scan u =
-    if u >= n then None
-    else if Scenario.mem_node sc u then scan (u + 1)
-    else begin
+  let out = ref [] in
+  for u = n - 1 downto 0 do
+    if not (Scenario.mem_node sc u) then begin
       let rc = c_reaches u in
       let copies = Abstraction.node_image t u in
       (* any copy agreeing keeps the abstraction defensible: the
          per-solution refinement f_r is free to pick that copy *)
-      if List.exists (fun a -> a_reaches a = rc) copies then scan (u + 1)
-      else
-        Some
+      if not (List.exists (fun a -> a_reaches a = rc) copies) then
+        out :=
           {
             mis_node = u;
             mis_abs = Abstraction.f t u;
@@ -45,15 +47,33 @@ let check ?max_steps (t : Abstraction.t) ~(concrete : 'a Srp.t)
             concrete_stable;
             abstract_stable;
           }
+          :: !out
     end
-  in
-  scan 0
+  done;
+  !out
 
-let first_break ?max_steps t ~concrete ~abstract_ scenarios =
-  let fails sc = check ?max_steps t ~concrete ~abstract_ sc <> None in
+let check ?max_steps ?concrete_cache ?abstract_cache t ~concrete ~abstract_
+    sc =
+  match
+    check_all ?max_steps ?concrete_cache ?abstract_cache t ~concrete
+      ~abstract_ sc
+  with
+  | [] -> None
+  | m :: _ -> Some m
+
+let first_break ?max_steps ?concrete_cache ?abstract_cache t ~concrete
+    ~abstract_ scenarios =
+  let fails sc =
+    check ?max_steps ?concrete_cache ?abstract_cache t ~concrete ~abstract_
+      sc
+    <> None
+  in
   List.find_opt fails scenarios
   |> Option.map (fun sc ->
          let minimal = Scenario.shrink fails sc in
-         match check ?max_steps t ~concrete ~abstract_ minimal with
+         match
+           check ?max_steps ?concrete_cache ?abstract_cache t ~concrete
+             ~abstract_ minimal
+         with
          | Some m -> (minimal, m)
          | None -> assert false)

@@ -23,23 +23,44 @@ val abstract_scenario : Abstraction.t -> Scenario.t -> Scenario.t
     {!Abstraction.link_image} (intra-group links vanish), downed nodes
     through {!Abstraction.node_image}. *)
 
+val check_all :
+  ?max_steps:int ->
+  ?concrete_cache:'a Fault_engine.cache ->
+  ?abstract_cache:'b Fault_engine.cache ->
+  Abstraction.t ->
+  concrete:'a Srp.t ->
+  abstract_:'b Srp.t ->
+  Scenario.t ->
+  mismatch list
+(** Re-solve both networks under the scenario (a diverged side counts as
+    reaching nothing, as in {!Reachability}) and return {e every} concrete
+    node — in increasing id order, skipping downed nodes — whose
+    reachability disagrees with every abstract copy of its group (the
+    per-solution refinement may map a node to any copy, so disagreement
+    with all of them is what rules out a refinement that saves the
+    abstraction). The full set is what the CEGAR repair loop (lib/repair)
+    pins in one round; [[]] means the abstraction answered this scenario's
+    reachability queries correctly.
+
+    [concrete_cache]/[abstract_cache] memoize the two per-side re-solves
+    ({!Fault_engine.run}); each cache must be dedicated to its side's SRP
+    (the abstract one only for the lifetime of one abstraction). *)
+
 val check :
   ?max_steps:int ->
+  ?concrete_cache:'a Fault_engine.cache ->
+  ?abstract_cache:'b Fault_engine.cache ->
   Abstraction.t ->
   concrete:'a Srp.t ->
   abstract_:'b Srp.t ->
   Scenario.t ->
   mismatch option
-(** Re-solve both networks under the scenario (a diverged side counts as
-    reaching nothing, as in {!Reachability}) and return the first concrete
-    node [u] — lowest id, skipping downed nodes — whose reachability
-    disagrees with {e every} abstract copy of its group (the per-solution
-    refinement may map [u] to any copy, so disagreement with all of them is
-    what rules out a refinement that saves the abstraction). [None]: the
-    abstraction answered this scenario's reachability queries correctly. *)
+(** The lowest-id mismatch of {!check_all} ([None] iff none). *)
 
 val first_break :
   ?max_steps:int ->
+  ?concrete_cache:'a Fault_engine.cache ->
+  ?abstract_cache:'b Fault_engine.cache ->
   Abstraction.t ->
   concrete:'a Srp.t ->
   abstract_:'b Srp.t ->

@@ -68,6 +68,13 @@ let split t xs =
       fresh
     end
 
+let pin t x =
+  check_elt t x;
+  let c = t.cls.(x) in
+  if class_size t c = 1 then c else split t [ x ]
+
+let is_singleton t x = class_size t (find t x) = 1
+
 let refine t ~cls ~key =
   match members t cls with
   | [] | [ _ ] -> []

@@ -46,6 +46,17 @@ val split : t -> int list -> int
     @raise Invalid_argument if elements span several classes or are
     duplicated. *)
 
+val pin : t -> int -> int
+(** [pin t x] forces [x] into a singleton class and returns its class id
+    (a no-op when [x] is already alone). A pinned element stays a
+    singleton under any sequence of further {!split}/{!refine} calls —
+    refinement only ever makes classes smaller — which is what makes
+    pin sets a monotone repair device: the partition seeded with a
+    superset of pins refines the partition seeded with a subset. *)
+
+val is_singleton : t -> int -> bool
+(** [is_singleton t x]: the class of [x] has exactly one member. *)
+
 val refine : t -> cls:int -> key:(int -> 'k) -> int list
 (** [refine t ~cls ~key] groups the members of class [cls] by [key] (using
     polymorphic equality/hashing on the key) and splits the class so each

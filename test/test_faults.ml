@@ -140,6 +140,49 @@ let test_survey () =
   Alcotest.(check int) "every pair disconnects" 6
     r.Fault_engine.n_disconnected
 
+let test_cache () =
+  let srp = Rip.make (ring 4) ~dest:0 in
+  let cache = Fault_engine.cache () in
+  let sc = Scenario.make [ (1, 2) ] in
+  let classify = function
+    | Fault_engine.Stable _ -> "stable"
+    | Fault_engine.Disconnected _ -> "disconnected"
+    | Fault_engine.Diverged _ -> "diverged"
+  in
+  let first = Fault_engine.run ~cache srp sc in
+  Alcotest.(check int) "miss on first solve" 0 (Fault_engine.cache_hits cache);
+  Alcotest.(check int) "one entry" 1 (Fault_engine.cache_size cache);
+  let second = Fault_engine.run ~cache srp sc in
+  Alcotest.(check int) "hit on re-solve" 1 (Fault_engine.cache_hits cache);
+  Alcotest.(check string) "same outcome" (classify first) (classify second);
+  (* an equal-but-not-identical scenario still hits: the normalized
+     downed set is the key *)
+  ignore (Fault_engine.run ~cache srp (Scenario.make [ (2, 1); (1, 2) ]));
+  Alcotest.(check int) "normalized key hits" 2 (Fault_engine.cache_hits cache);
+  (* a cache hit consumes no budget *)
+  let starved = Budget.create ~max_ticks:0 () in
+  (match Fault_engine.run ~cache ~budget:starved srp sc with
+  | _ -> ()
+  | exception Budget.Exhausted _ ->
+    Alcotest.fail "cache hit must not consume budget");
+  Alcotest.(check int) "still hitting" 3 (Fault_engine.cache_hits cache)
+
+let test_survey_cache_hits () =
+  let srp = Rip.make (ring 4) ~dest:0 in
+  let plan = Fault_engine.plan ~k:2 (ring 4) in
+  let cache = Fault_engine.cache () in
+  let cold = Fault_engine.survey ~cache srp plan in
+  Alcotest.(check int) "cold survey: no hits" 0 cold.Fault_engine.n_cache_hits;
+  let warm = Fault_engine.survey ~cache srp plan in
+  Alcotest.(check int)
+    "warm survey: every scenario answered from cache"
+    (List.length plan.Fault_engine.scenarios)
+    warm.Fault_engine.n_cache_hits;
+  Alcotest.(check int) "verdicts unchanged" cold.Fault_engine.n_disconnected
+    warm.Fault_engine.n_disconnected;
+  let uncached = Fault_engine.survey srp plan in
+  Alcotest.(check int) "no cache, no hits" 0 uncached.Fault_engine.n_cache_hits
+
 (* --- divergence diagnosis --------------------------------------------- *)
 
 type owned = { owner : int; opath : int list }
@@ -309,6 +352,39 @@ let test_soundness_fattree () =
     Alcotest.(check bool) "both sides converged" true
       (m.Soundness.concrete_stable && m.Soundness.abstract_stable)
 
+let test_check_all () =
+  (* on the fattree's breaking scenario, check_all returns every
+     disagreeing node (ascending), and check is its head *)
+  let ft = Generators.fattree ~k:4 in
+  let net = Synthesis.fattree_shortest_path ft in
+  let ec = List.hd (Ecs.compute net) in
+  let dest = Ecs.single_origin ec in
+  let t = (Bonsai_api.compress_ec_exn net ec).Bonsai_api.abstraction in
+  let concrete = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
+  let abstract_ = Abstraction.bgp_srp t in
+  let sc, _ =
+    match
+      Soundness.first_break t ~concrete ~abstract_
+        (Scenario.enumerate ~k:1 net.Device.graph)
+    with
+    | Some b -> b
+    | None -> Alcotest.fail "expected the fattree abstraction to break"
+  in
+  let all = Soundness.check_all t ~concrete ~abstract_ sc in
+  Alcotest.(check bool) "several nodes disagree" true (List.length all > 1);
+  let ids = List.map (fun m -> m.Soundness.mis_node) all in
+  Alcotest.(check (list int)) "ascending, distinct"
+    (List.sort_uniq Int.compare ids)
+    ids;
+  (match Soundness.check t ~concrete ~abstract_ sc with
+  | Some m ->
+    Alcotest.(check int) "check is the head of check_all"
+      (List.hd ids) m.Soundness.mis_node
+  | None -> Alcotest.fail "check must agree with check_all");
+  (* an intact-topology scenario yields no mismatch *)
+  Alcotest.(check int) "intact topology agrees" 0
+    (List.length (Soundness.check_all t ~concrete ~abstract_ (Scenario.make [])))
+
 let test_soundness_identity_ok () =
   (* sanity: comparing a network against itself (identity abstraction via
      a faithful SRP copy) never reports a break on a fault-tolerant
@@ -337,6 +413,8 @@ let () =
           Alcotest.test_case "outcomes" `Quick test_engine_outcomes;
           Alcotest.test_case "plan" `Quick test_plan;
           Alcotest.test_case "survey" `Quick test_survey;
+          Alcotest.test_case "cache" `Quick test_cache;
+          Alcotest.test_case "survey cache hits" `Quick test_survey_cache_hits;
         ] );
       ( "diagnosis",
         [
@@ -359,6 +437,8 @@ let () =
         [
           Alcotest.test_case "fattree breaks under one failure" `Quick
             test_soundness_fattree;
+          Alcotest.test_case "check_all collects every mismatch" `Quick
+            test_check_all;
           Alcotest.test_case "ring survives" `Quick test_soundness_identity_ok;
         ] );
     ]
