@@ -395,6 +395,190 @@ let harden () =
   row "Full mesh (n=10)" (Synthesis.mesh_bgp ~n:10)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental recompression (the `bonsai diff`/`watch` engine)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Run OSPF as an infrastructure underlay on the core/aggregation tiers
+   (cost 1, area 0) so a link-cost change is a real configuration delta.
+   The edge routers — the destination originators — stay out of OSPF and
+   nothing redistributes, so OSPF carries none of the monitored prefixes
+   (Compile.ospf_live is false for every class): dependency tracking must
+   prove a cost change irrelevant and reuse every abstraction. *)
+let with_ospf (net : Device.network) =
+  let g = net.Device.graph in
+  let underlay u =
+    let n = Graph.name g u in
+    not (String.length n >= 4 && String.sub n 0 4 = "edge")
+  in
+  {
+    net with
+    Device.routers =
+      Array.mapi
+        (fun u r ->
+          if not (underlay u) then r
+          else
+            {
+              r with
+              Device.ospf_links =
+                Array.to_list (Graph.succ g u)
+                |> List.filter underlay
+                |> List.map (fun v -> (v, { Device.cost = 1; area = 0 }));
+            })
+        net.Device.routers;
+  }
+
+type incr_row = {
+  ir_delta : string;
+  ir_t_full : float;
+  ir_t_incr : float;
+  ir_reused : int;
+  ir_seeded : int;
+  ir_scratch : int;
+  ir_hit_rate : float;
+}
+
+(* A deterministic stream of single-delta edits. The first is the
+   acceptance metric: one OSPF link-cost change, which dependency
+   tracking must prove irrelevant to every destination class. *)
+let incr_delta_stream rng (net : Device.network) n =
+  let g = net.Device.graph in
+  let name = Graph.name g in
+  let all_edges = Graph.edges g in
+  let edges = Array.of_list all_edges in
+  let ospf_edges =
+    Array.of_list
+      (List.filter
+         (fun (u, v) ->
+           Option.is_some (Device.ospf_link_config net.Device.routers.(u) v)
+           && Option.is_some (Device.ospf_link_config net.Device.routers.(v) u))
+         all_edges)
+  in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  List.init n (fun i ->
+      match i mod 4 with
+      | 0 | 2 ->
+        let u, v = pick ospf_edges in
+        Delta.Ospf_cost { node = name u; nbr = name v; cost = 2 + i }
+      | 1 ->
+        let u, v = pick edges in
+        Delta.Acl_set
+          {
+            node = name u;
+            nbr = name v;
+            acl =
+              Some
+                [
+                  {
+                    Acl.permit = false;
+                    prefix = Prefix.of_string "10.255.0.0/24";
+                  };
+                ];
+          }
+      | _ ->
+        let u, v = pick edges in
+        Delta.Route_map_set
+          { node = name u; nbr = name v; dir = Delta.Import; rm = None })
+
+let incr_bench ?(k = 8) ?(n_deltas = 10) ~json_path ~assert_speedup () =
+  hr "Incremental recompression (the bonsai diff/watch engine)";
+  let net = with_ospf (Synthesis.fattree_shortest_path (Generators.fattree ~k)) in
+  let g = net.Device.graph in
+  let n_ecs = Ecs.count net in
+  Printf.printf "fattree k=%d: %d nodes, %d links, %d destination classes\n" k
+    (Graph.n_nodes g) (Graph.n_links g) n_ecs;
+  let st, t_init =
+    Timing.time (fun () ->
+        match Incr.init net with
+        | Ok st -> st
+        | Error e -> fail "incr init: %a" Bonsai_error.pp e)
+  in
+  Printf.printf "from-scratch init: %.3fs\n%!" t_init;
+  let rng = Random.State.make [| 0xb05a1; k |] in
+  let deltas = incr_delta_stream rng net n_deltas in
+  Printf.printf "%-40s %10s %10s %9s %22s %6s\n" "delta" "full" "incr"
+    "speedup" "reused/seeded/scratch" "cache";
+  let rows =
+    List.map
+      (fun d ->
+        let rep =
+          match Incr.recompress st [ d ] with
+          | Ok r -> r
+          | Error e -> fail "incr recompress: %a" Bonsai_error.pp e
+        in
+        (* the honest baseline: recompressing the *changed* network from
+           scratch, every class, fresh universe *)
+        let _, t_full =
+          Timing.time (fun () -> Bonsai_api.compress_exn (Incr.network st))
+        in
+        let hit_rate =
+          let total = rep.Incr.r_cache_hits + rep.Incr.r_cache_misses in
+          if total = 0 then 1.0
+          else float_of_int rep.Incr.r_cache_hits /. float_of_int total
+        in
+        let row =
+          {
+            ir_delta = Delta.to_string d;
+            ir_t_full = t_full;
+            ir_t_incr = rep.Incr.r_time_s;
+            ir_reused = rep.Incr.r_reused;
+            ir_seeded = rep.Incr.r_seeded;
+            ir_scratch = rep.Incr.r_scratch;
+            ir_hit_rate = hit_rate;
+          }
+        in
+        Printf.printf "%-40s %9.4fs %9.4fs %8.1fx %12d/%3d/%3d %5.0f%%\n%!"
+          row.ir_delta row.ir_t_full row.ir_t_incr
+          (row.ir_t_full /. max 1e-9 row.ir_t_incr)
+          row.ir_reused row.ir_seeded row.ir_scratch (100.0 *. hit_rate);
+        row)
+      deltas
+  in
+  let speedup r = r.ir_t_full /. max 1e-9 r.ir_t_incr in
+  let first = List.hd rows in
+  let hits, misses = Incr.cache_stats st in
+  Printf.printf "single link-cost delta: %.4fs full vs %.4fs incremental (%.1fx)\n"
+    first.ir_t_full first.ir_t_incr (speedup first);
+  Printf.printf "signature cache (cumulative): %d hits, %d misses\n%!" hits
+    misses;
+  let row_json r =
+    Printf.sprintf
+      "    {\"delta\": \"%s\", \"t_full_s\": %.6f, \"t_incr_s\": %.6f, \
+       \"speedup\": %.2f, \"reused\": %d, \"seeded\": %d, \"scratch\": %d, \
+       \"cache_hit_rate\": %.3f}"
+      (String.concat "'" (String.split_on_char '"' r.ir_delta))
+      r.ir_t_full r.ir_t_incr (speedup r) r.ir_reused r.ir_seeded r.ir_scratch
+      r.ir_hit_rate
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"topology\": \"fattree\",\n\
+      \  \"k\": %d,\n\
+      \  \"nodes\": %d,\n\
+      \  \"links\": %d,\n\
+      \  \"ecs\": %d,\n\
+      \  \"init_time_s\": %.6f,\n\
+      \  \"single_link_cost_speedup\": %.2f,\n\
+      \  \"cache\": {\"hits\": %d, \"misses\": %d},\n\
+      \  \"deltas\": [\n%s\n  ]\n\
+       }\n"
+      k (Graph.n_nodes g) (Graph.n_links g) n_ecs t_init (speedup first) hits
+      misses
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  let oc = open_out json_path in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  match assert_speedup with
+  | Some min_s when speedup first < min_s ->
+    Printf.eprintf
+      "FAIL: single link-cost speedup %.2fx below required %.2fx\n"
+      (speedup first) min_s;
+    exit 1
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core kernels                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -480,13 +664,18 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench/main.exe \
-       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|micro|all] \
-       [--timeout SECONDS] [--samples N]";
+       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|incr|micro|all] \
+       [--timeout SECONDS] [--samples N] [--k K] [--deltas N] [--json FILE] \
+       [--assert-speedup MIN]";
     exit 2
   in
   let args = Array.to_list Sys.argv |> List.tl in
   let timeout_s = ref 60.0 in
   let samples = ref None in
+  let k = ref 8 in
+  let n_deltas = ref 10 in
+  let json_path = ref "BENCH_incr.json" in
+  let assert_speedup = ref None in
   let rec parse cmds = function
     | [] -> List.rev cmds
     | "--timeout" :: v :: rest ->
@@ -497,6 +686,22 @@ let () =
     | "--samples" :: v :: rest ->
       (match int_of_string_opt v with
       | Some n -> samples := Some n
+      | None -> usage ());
+      parse cmds rest
+    | "--k" :: v :: rest ->
+      (match int_of_string_opt v with Some n -> k := n | None -> usage ());
+      parse cmds rest
+    | "--deltas" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n -> n_deltas := n
+      | None -> usage ());
+      parse cmds rest
+    | "--json" :: v :: rest ->
+      json_path := v;
+      parse cmds rest
+    | "--assert-speedup" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s -> assert_speedup := Some s
       | None -> usage ());
       parse cmds rest
     | "--help" :: _ | "-h" :: _ -> usage ()
@@ -515,6 +720,9 @@ let () =
       | "ablation-uu" -> ablation_uu ()
       | "faults" -> faults ?samples:!samples ()
       | "harden" -> harden ()
+      | "incr" ->
+        incr_bench ~k:!k ~n_deltas:!n_deltas ~json_path:!json_path
+          ~assert_speedup:!assert_speedup ()
       | "micro" -> micro ()
       | "all" -> all ~timeout_s:!timeout_s ()
       | _ -> usage ())

@@ -112,6 +112,34 @@ let find_ec net = function
     | Some ec -> ec
     | None -> Format.kasprintf failwith "no destination class %a" Prefix.pp p)
 
+(* JSON output helpers, shared by every subcommand with --format json:
+   stdout carries exactly one machine-parseable document (or, for watch,
+   one document per line), timings and diagnostics go to stderr. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let bdd_stats_json (st : Bdd.stats) =
+  Printf.sprintf
+    "{\"nodes\": %d, \"apply_hits\": %d, \"apply_misses\": %d, \"ite_hits\": \
+     %d, \"ite_misses\": %d}"
+    st.Bdd.nodes st.Bdd.apply_hits st.Bdd.apply_misses st.Bdd.ite_hits
+    st.Bdd.ite_misses
+
+let degradation_json = function
+  | None -> "null"
+  | Some (d : Bonsai_api.degradation) ->
+    Printf.sprintf "{\"completed\": %d, \"total\": %d}" d.Bonsai_api.deg_completed
+      d.Bonsai_api.deg_total
+
 (* --- info ----------------------------------------------------------- *)
 
 let info_cmd_run spec =
@@ -131,14 +159,18 @@ let info_cmd_run spec =
 (* --- compress --------------------------------------------------------- *)
 
 (* Re-validate the effective-abstraction conditions (paper Figure 4) on a
-   finished abstraction; true iff clean. *)
-let check_result net (r : Bonsai_api.ec_result) =
+   finished abstraction. *)
+let check_violations net (r : Bonsai_api.ec_result) =
   let _, signature =
     Compile.edge_signatures
       ~universe:r.Bonsai_api.abstraction.Abstraction.universe net
       ~dest:r.Bonsai_api.ec.Ecs.ec_prefix
   in
-  match Check.check r.Bonsai_api.abstraction ~signature with
+  Check.check r.Bonsai_api.abstraction ~signature
+
+(* Text renderer of the above; true iff clean. *)
+let check_result net (r : Bonsai_api.ec_result) =
+  match check_violations net r with
   | [] ->
     Format.printf "check %a: ok@." Prefix.pp r.Bonsai_api.ec.Ecs.ec_prefix;
     true
@@ -149,8 +181,8 @@ let check_result net (r : Bonsai_api.ec_result) =
     List.iter (Format.printf "  %a@." Check.pp_violation) vs;
     false
 
-let compress_cmd_run spec ec_prefix dot all check budget_ms budget_ticks
-    degrade =
+let compress_cmd_run spec ec_prefix dot all check format budget_ms
+    budget_ticks degrade =
   guarded @@ fun () ->
   let net = resolve_network spec in
   let budget = make_budget budget_ms budget_ticks in
@@ -162,19 +194,61 @@ let compress_cmd_run spec ec_prefix dot all check budget_ms budget_ticks
         (Budget.ticks budget) (Budget.elapsed_s budget)
   in
   let degrade_exit code = if degrade then 0 else code in
+  let g = net.Device.graph in
   if all then begin
     let s = Bonsai_api.compress_exn ~budget net in
-    Format.printf "%a@." Bonsai_api.pp_summary s;
-    report_budget ();
-    let checked_ok =
-      (not check)
-      || List.fold_left
-           (* degraded classes are the identity abstraction — nothing to
-              re-check, and their report line already flags them *)
-           (fun ok r -> (r.Bonsai_api.degraded || check_result net r) && ok)
-           true s.Bonsai_api.results
-    in
-    match (s.Bonsai_api.degradation, checked_ok) with
+    let checked_ok = ref true in
+    (match format with
+    | `Text ->
+      Format.printf "%a@." Bonsai_api.pp_summary s;
+      report_budget ();
+      checked_ok :=
+        (not check)
+        || List.fold_left
+             (* degraded classes are the identity abstraction — nothing to
+                re-check, and their report line already flags them *)
+             (fun ok r -> (r.Bonsai_api.degraded || check_result net r) && ok)
+             true s.Bonsai_api.results
+    | `Json ->
+      let class_json (r : Bonsai_api.ec_result) =
+        let t = r.Bonsai_api.abstraction in
+        let vs =
+          if check && not r.Bonsai_api.degraded then
+            List.length (check_violations net r)
+          else 0
+        in
+        if vs > 0 then checked_ok := false;
+        Printf.sprintf
+          "{\"destination\": %s, \"abstract_nodes\": %d, \"abstract_links\": \
+           %d, \"degraded\": %b%s}"
+          (json_string
+             (Format.asprintf "%a" Prefix.pp r.Bonsai_api.ec.Ecs.ec_prefix))
+          (Abstraction.n_abstract t)
+          (Graph.n_links t.Abstraction.abs_graph)
+          r.Bonsai_api.degraded
+          (if check then Printf.sprintf ", \"check_violations\": %d" vs
+           else "")
+      in
+      let classes = List.map class_json s.Bonsai_api.results in
+      let bdd =
+        match s.Bonsai_api.results with
+        | r :: _ ->
+          bdd_stats_json
+            (Bdd.stats
+               r.Bonsai_api.abstraction.Abstraction.universe.Policy_bdd.man)
+        | [] -> "null"
+      in
+      Format.printf "{@.";
+      Format.printf "  \"network\": {\"nodes\": %d, \"links\": %d},@."
+        (Graph.n_nodes g) (Graph.n_links g);
+      Format.printf "  \"skipped_anycast\": %d,@." s.Bonsai_api.skipped_anycast;
+      Format.printf "  \"classes\": [%s],@." (String.concat "," classes);
+      Format.printf "  \"degradation\": %s,@."
+        (degradation_json s.Bonsai_api.degradation);
+      Format.printf "  \"bdd\": %s@." bdd;
+      Format.printf "}@.";
+      report_budget ());
+    match (s.Bonsai_api.degradation, !checked_ok) with
     | Some _, _ -> degrade_exit 3
     | None, false -> degrade_exit 1
     | None, true -> 0
@@ -203,52 +277,284 @@ let compress_cmd_run spec ec_prefix dot all check budget_ms budget_ticks
       | Error e -> Bonsai_error.error e
     in
     let r, why =
-      if check && why = None && not (check_result net r) then
-        (fallback (), Some `Check)
+      if check && why = None then begin
+        let ok =
+          match format with
+          | `Text -> check_result net r
+          | `Json -> check_violations net r = []
+        in
+        if ok then (r, why) else (fallback (), Some `Check)
+      end
       else (r, why)
     in
     let t = r.Bonsai_api.abstraction in
-    Format.printf "%a@." Abstraction.pp_summary t;
-    Format.printf "compression time: %.3fs (%d refinement iterations)@."
-      r.Bonsai_api.time_s r.Bonsai_api.refine_stats.Refine.iterations;
-    (* the identity fallback has one role per node — listing it is noise *)
-    if not r.Bonsai_api.degraded then
-      Array.iteri
-        (fun gid members ->
-          Format.printf "  role %d (%d node%s%s): %s@." gid
-            (List.length members)
-            (if List.length members = 1 then "" else "s")
-            (if t.Abstraction.copies.(gid) > 1 then
-               Printf.sprintf ", %d copies" t.Abstraction.copies.(gid)
-             else "")
-            (String.concat ", "
-               (List.map (Graph.name net.Device.graph)
-                  (List.filteri (fun i _ -> i < 6) members)
-               @ if List.length members > 6 then [ "..." ] else [])))
-        t.Abstraction.groups;
     (match dot with
     | None -> ()
-    | Some path ->
-      Dot.write_file ~path t.Abstraction.abs_graph;
-      Format.printf "abstract topology written to %s@." path);
-    (match why with
-    | None -> ()
-    | Some (`Budget info) ->
-      Format.printf "@[<v>%a@]@." Bonsai_api.pp_degradation
-        {
-          Bonsai_api.deg_info = info;
-          deg_completed = 0;
-          deg_total = 1;
-        }
-    | Some `Check ->
-      Format.printf
-        "DEGRADED: abstraction failed --check; fell back to the identity \
-         abstraction (abstract network = concrete network)@.");
+    | Some path -> Dot.write_file ~path t.Abstraction.abs_graph);
+    (match format with
+    | `Text ->
+      Format.printf "%a@." Abstraction.pp_summary t;
+      Format.printf "compression time: %.3fs (%d refinement iterations)@."
+        r.Bonsai_api.time_s r.Bonsai_api.refine_stats.Refine.iterations;
+      (* the identity fallback has one role per node — listing it is noise *)
+      if not r.Bonsai_api.degraded then
+        Array.iteri
+          (fun gid members ->
+            Format.printf "  role %d (%d node%s%s): %s@." gid
+              (List.length members)
+              (if List.length members = 1 then "" else "s")
+              (if t.Abstraction.copies.(gid) > 1 then
+                 Printf.sprintf ", %d copies" t.Abstraction.copies.(gid)
+               else "")
+              (String.concat ", "
+                 (List.map (Graph.name net.Device.graph)
+                    (List.filteri (fun i _ -> i < 6) members)
+                 @ if List.length members > 6 then [ "..." ] else [])))
+          t.Abstraction.groups;
+      (match dot with
+      | None -> ()
+      | Some path -> Format.printf "abstract topology written to %s@." path);
+      (match why with
+      | None -> ()
+      | Some (`Budget info) ->
+        Format.printf "@[<v>%a@]@." Bonsai_api.pp_degradation
+          {
+            Bonsai_api.deg_info = info;
+            deg_completed = 0;
+            deg_total = 1;
+          }
+      | Some `Check ->
+        Format.printf
+          "DEGRADED: abstraction failed --check; fell back to the identity \
+           abstraction (abstract network = concrete network)@.")
+    | `Json ->
+      (* Wall time is nondeterministic; it goes to stderr so the JSON
+         document stays golden-testable. *)
+      let roles_json =
+        if r.Bonsai_api.degraded then []
+        else
+          Array.to_list
+            (Array.mapi
+               (fun gid members ->
+                 Printf.sprintf
+                   "{\"id\": %d, \"copies\": %d, \"members\": [%s]}" gid
+                   t.Abstraction.copies.(gid)
+                   (String.concat ","
+                      (List.map
+                         (fun u ->
+                           json_string (Graph.name net.Device.graph u))
+                         members)))
+               t.Abstraction.groups)
+      in
+      Format.printf "{@.";
+      Format.printf "  \"network\": {\"nodes\": %d, \"links\": %d},@."
+        (Graph.n_nodes g) (Graph.n_links g);
+      Format.printf "  \"destination\": %s,@."
+        (json_string
+           (Format.asprintf "%a" Prefix.pp r.Bonsai_api.ec.Ecs.ec_prefix));
+      Format.printf "  \"abstraction\": {\"nodes\": %d, \"links\": %d},@."
+        (Abstraction.n_abstract t)
+        (Graph.n_links t.Abstraction.abs_graph);
+      Format.printf "  \"refine_iterations\": %d,@."
+        r.Bonsai_api.refine_stats.Refine.iterations;
+      Format.printf "  \"roles\": [%s],@." (String.concat "," roles_json);
+      Format.printf "  \"degraded\": %b,@." r.Bonsai_api.degraded;
+      Format.printf "  \"fallback\": %s,@."
+        (json_string
+           (match why with
+           | None -> "none"
+           | Some (`Budget _) -> "budget"
+           | Some `Check -> "check"));
+      Format.printf "  \"bdd\": %s@."
+        (bdd_stats_json
+           (Bdd.stats t.Abstraction.universe.Policy_bdd.man));
+      Format.printf "}@.";
+      Printf.eprintf "compression time: %.3fs\n%!" r.Bonsai_api.time_s);
     report_budget ();
     match why with
     | None -> 0
     | Some (`Budget _) -> degrade_exit 3
     | Some `Check -> degrade_exit 1
+  end
+
+(* --- diff / watch: incremental recompression --------------------------- *)
+
+(* Everything deterministic about an [Incr.report]; wall time is printed
+   separately (stderr for diff, inline for watch events, which are not
+   golden-tested). *)
+let report_json (rep : Incr.report) =
+  Printf.sprintf
+    "\"classes\": %d, \"reused\": %d, \"seeded\": %d, \"scratch\": %d, \
+     \"full_rebuild\": %b, \"cache\": {\"hits\": %d, \"misses\": %d}, \
+     \"degradation\": %s"
+    rep.Incr.r_ecs rep.Incr.r_reused rep.Incr.r_seeded rep.Incr.r_scratch
+    rep.Incr.r_full_rebuild rep.Incr.r_cache_hits rep.Incr.r_cache_misses
+    (degradation_json rep.Incr.r_degradation)
+
+let deltas_json deltas =
+  String.concat "," (List.map (fun d -> json_string (Delta.to_string d)) deltas)
+
+let report_text (rep : Incr.report) =
+  Format.printf "classes: %d (%d reused, %d seeded, %d scratch)%s@."
+    rep.Incr.r_ecs rep.Incr.r_reused rep.Incr.r_seeded rep.Incr.r_scratch
+    (if rep.Incr.r_full_rebuild then " [full rebuild]" else "");
+  Format.printf "signature cache: %d hits, %d misses@." rep.Incr.r_cache_hits
+    rep.Incr.r_cache_misses;
+  match rep.Incr.r_degradation with
+  | None -> ()
+  | Some d -> Format.printf "@[<v>%a@]@." Bonsai_api.pp_degradation d
+
+let diff_cmd_run old_spec new_spec format budget_ms budget_ticks degrade =
+  guarded @@ fun () ->
+  let old_net = resolve_network old_spec in
+  let new_net = resolve_network new_spec in
+  let deltas = Delta.diff old_net new_net in
+  if deltas = [] then begin
+    (match format with
+    | `Text -> Format.printf "networks are identical@."
+    | `Json -> Format.printf "{\"identical\": true, \"deltas\": []}@.");
+    0
+  end
+  else begin
+    let budget = make_budget budget_ms budget_ticks in
+    let st =
+      match Incr.init ~budget old_net with
+      | Ok st -> st
+      | Error e -> Bonsai_error.error e
+    in
+    let rep =
+      match Incr.recompress ~budget st deltas with
+      | Ok rep -> rep
+      | Error e -> Bonsai_error.error e
+    in
+    let bdd = Incr.bdd_stats st in
+    (match format with
+    | `Text ->
+      Format.printf "deltas (%d):@." (List.length deltas);
+      List.iter (fun d -> Format.printf "  - %a@." Delta.pp d) deltas;
+      report_text rep;
+      Format.printf "bdd: %a@." Bdd.pp_stats bdd
+    | `Json ->
+      Format.printf "{@.";
+      Format.printf "  \"identical\": false,@.";
+      Format.printf "  \"deltas\": [%s],@." (deltas_json deltas);
+      Format.printf "  %s,@." (report_json rep);
+      Format.printf "  \"bdd\": %s@." (bdd_stats_json bdd);
+      Format.printf "}@.");
+    Printf.eprintf "diff: %d deltas recompressed in %.3fs\n%!"
+      (List.length deltas) rep.Incr.r_time_s;
+    match rep.Incr.r_degradation with
+    | Some _ when not degrade -> 3
+    | _ -> 1
+  end
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* A directory is one network, one-or-more devices per file, concatenated
+   in filename order (our text format is position-independent, so any
+   split across files parses the same). *)
+let read_watch_path path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".cfg" || Filename.check_suffix f ".conf")
+    |> List.map (fun f -> read_file (Filename.concat path f))
+    |> String.concat "\n"
+  else read_file path
+
+let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
+  guarded @@ fun () ->
+  let read () =
+    try Ok (read_watch_path path) with Sys_error m -> Error [ (0, m) ]
+  in
+  let text0 =
+    match read () with
+    | Ok t -> t
+    | Error ds ->
+      Bonsai_error.error (Bonsai_error.Parse_error { diagnostics = ds })
+  in
+  let net0 =
+    match Config_text.parse_full text0 with
+    | Ok (net, _) -> net
+    | Error ds ->
+      Bonsai_error.error (Bonsai_error.Parse_error { diagnostics = ds })
+  in
+  let st =
+    match Incr.init ~budget:(make_budget budget_ms budget_ticks) net0 with
+    | Ok st -> st
+    | Error e -> Bonsai_error.error e
+  in
+  let s = Incr.summary st in
+  let hits, misses = Incr.cache_stats st in
+  let g = net0.Device.graph in
+  let n_classes = List.length s.Bonsai_api.results in
+  (match format with
+  | `Text ->
+    Format.printf
+      "watch: %d nodes, %d links; %d classes compressed (cache %d hits, %d \
+       misses)@."
+      (Graph.n_nodes g) (Graph.n_links g) n_classes hits misses;
+    (match s.Bonsai_api.degradation with
+    | None -> ()
+    | Some d -> Format.printf "@[<v>%a@]@." Bonsai_api.pp_degradation d)
+  | `Json ->
+    (* watch emits one JSON document per line (NDJSON) so consumers can
+       stream events *)
+    Printf.printf
+      "{\"event\": \"init\", \"nodes\": %d, \"links\": %d, \"classes\": %d, \
+       \"cache\": {\"hits\": %d, \"misses\": %d}, \"degradation\": %s}\n%!"
+      (Graph.n_nodes g) (Graph.n_links g) n_classes hits misses
+      (degradation_json s.Bonsai_api.degradation));
+  if once then
+    match s.Bonsai_api.degradation with
+    | Some _ when not degrade -> 3
+    | _ -> 0
+  else begin
+    let last = ref text0 in
+    let rec loop () =
+      Unix.sleepf (float_of_int poll_ms /. 1000.0);
+      (match read () with
+      | Error ds ->
+        List.iter (fun (_, m) -> Printf.eprintf "watch: %s\n%!" m) ds
+      | Ok text when String.equal text !last -> ()
+      | Ok text -> (
+        last := text;
+        match Config_text.parse_full text with
+        | Error ds ->
+          (* keep serving the previous network; the next edit gets another
+             chance *)
+          Printf.eprintf
+            "watch: parse error (%d diagnostic%s); keeping the previous \
+             network\n%!"
+            (List.length ds)
+            (if List.length ds = 1 then "" else "s");
+          List.iter
+            (fun (line, m) -> Printf.eprintf "  line %d: %s\n%!" line m)
+            ds
+        | Ok (net', _) -> (
+          match
+            Incr.recompress_net ~budget:(make_budget budget_ms budget_ticks)
+              st net'
+          with
+          | Error e ->
+            Printf.eprintf "watch: %s\n%!"
+              (Format.asprintf "@[%a@]" Bonsai_error.pp e)
+          | Ok (deltas, rep) -> (
+            match format with
+            | `Text ->
+              Format.printf "watch: %d delta%s@." (List.length deltas)
+                (if List.length deltas = 1 then "" else "s");
+              List.iter (fun d -> Format.printf "  - %a@." Delta.pp d) deltas;
+              report_text rep;
+              Format.printf "time: %.3fs@." rep.Incr.r_time_s
+            | `Json ->
+              Printf.printf
+                "{\"event\": \"recompress\", \"deltas\": [%s], %s, \
+                 \"time_s\": %.3f}\n%!"
+                (deltas_json deltas) (report_json rep) rep.Incr.r_time_s))));
+      loop ()
+    in
+    loop ()
   end
 
 (* --- lint -------------------------------------------------------------- *)
@@ -329,18 +635,6 @@ let trace_cmd_run spec src_name addr all =
   0
 
 (* --- faults ------------------------------------------------------------ *)
-
-let json_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
 
 let scenario_json ~names (sc : Scenario.t) =
   let parts =
@@ -748,8 +1042,8 @@ let exits =
   :: Cmd.Exit.info 1
        ~doc:
          "on findings: a failed $(b,--check), error-severity lint \
-          diagnostics, or fault scenarios that disconnect/diverge/break \
-          the abstraction."
+          diagnostics, a non-empty $(b,diff), or fault scenarios that \
+          disconnect/diverge/break the abstraction."
   :: Cmd.Exit.info 3
        ~doc:
          "on budget exhaustion ($(b,--budget-ms)/$(b,--budget-ticks)) \
@@ -772,6 +1066,12 @@ let ec_arg =
     & opt (some string) None
     & info [ "ec" ] ~docv:"PREFIX"
         ~doc:"Destination class to operate on (default: the first).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format (text|json).")
 
 let budget_ms_arg =
   Arg.(
@@ -832,6 +1132,68 @@ let compress_cmd =
     (cmd_info "compress" ~doc:"Compress a network for one destination class")
     Term.(
       const compress_cmd_run $ network_arg $ ec_arg $ dot $ all $ check
+      $ format_arg $ budget_ms_arg $ budget_ticks_arg $ degrade_arg)
+
+let diff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD"
+          ~doc:"Old network specification (e.g. file:PATH or fattree:4).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"New network specification.")
+  in
+  Cmd.v
+    (cmd_info "diff"
+       ~doc:
+         "Diff two network configurations into semantic deltas and \
+          incrementally recompress the old network under them (exit 1 iff \
+          the networks differ): classes whose refinement inputs are \
+          untouched are reused verbatim, the rest re-refine from the \
+          surviving partition or recompute against the policy-signature \
+          cache.")
+    Term.(
+      const diff_cmd_run $ old_arg $ new_arg $ format_arg $ budget_ms_arg
+      $ budget_ticks_arg $ degrade_arg)
+
+let watch_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Configuration file to watch, or a directory whose *.cfg/*.conf \
+             files (concatenated in name order) form one network.")
+  in
+  let poll_ms =
+    Arg.(
+      value & opt int 500
+      & info [ "poll-ms" ] ~docv:"MS" ~doc:"Polling interval.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Compress the current contents, report, and exit instead of \
+             watching (for scripting and tests).")
+  in
+  Cmd.v
+    (cmd_info "watch"
+       ~doc:
+         "Watch a configuration file or directory and incrementally \
+          re-compress on every change. A parse error mid-watch keeps the \
+          previous network alive (diagnostics on stderr); every event is \
+          budget-governed by $(b,--budget-ms)/$(b,--budget-ticks) with the \
+          same degradation rules as compress.")
+    Term.(
+      const watch_cmd_run $ path_arg $ poll_ms $ once $ format_arg
       $ budget_ms_arg $ budget_ticks_arg $ degrade_arg)
 
 let lint_cmd =
@@ -1074,4 +1436,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc ~exits)
-          [ info_cmd; compress_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd ]))
+          [ info_cmd; compress_cmd; diff_cmd; watch_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd ]))

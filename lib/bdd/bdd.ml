@@ -49,6 +49,10 @@ type man = {
   mutable quant_vars : (int, unit) Hashtbl.t;
   mutable budget : Budget.t;
   mutable node_cap : int; (* max unique-table nodes; max_int = unbounded *)
+  mutable apply_hits : int;
+  mutable apply_misses : int;
+  mutable ite_hits : int;
+  mutable ite_misses : int;
 }
 
 let man ?(cache_size = 4096) ?(node_cap = max_int) () =
@@ -67,7 +71,12 @@ let man ?(cache_size = 4096) ?(node_cap = max_int) () =
     quant_vars = Hashtbl.create 8;
     budget = Budget.infinite;
     node_cap;
+    apply_hits = 0;
+    apply_misses = 0;
+    ite_hits = 0;
+    ite_misses = 0;
   }
+
 
 let set_budget m b = m.budget <- b
 let set_node_cap m cap =
@@ -141,8 +150,11 @@ let apply m memo ~commutative ~short f =
       let ia = node_id a and ib = node_id b in
       let key = if commutative && ib < ia then (ib, ia) else (ia, ib) in
       match Memo2.find_opt memo key with
-      | Some r -> r
+      | Some r ->
+        m.apply_hits <- m.apply_hits + 1;
+        r
       | None ->
+        m.apply_misses <- m.apply_misses + 1;
         Budget.tick m.budget ~phase;
         let r =
           match (a, b) with
@@ -205,8 +217,11 @@ let rec ite m c t e =
   | Node nc -> (
     let key = (node_id c, node_id t, node_id e) in
     match Memo3.find_opt m.ite_memo key with
-    | Some r -> r
+    | Some r ->
+      m.ite_hits <- m.ite_hits + 1;
+      r
     | None ->
+      m.ite_misses <- m.ite_misses + 1;
       Budget.tick m.budget ~phase;
       let top_var =
         let vt = match t with Node n -> n.v | _ -> max_int in
@@ -422,3 +437,37 @@ let pp ppf b =
         cubes ((v, true) :: acc) hi
     in
     cubes [] b
+
+(* --- statistics (defined last so the [man] fields above stay the ones
+   field punning resolves to) ----------------------------------------- *)
+
+type stats = {
+  nodes : int;
+  apply_hits : int;
+  apply_misses : int;
+  ite_hits : int;
+  ite_misses : int;
+}
+
+let stats (m : man) =
+  {
+    nodes = Unique.length m.unique;
+    apply_hits = m.apply_hits;
+    apply_misses = m.apply_misses;
+    ite_hits = m.ite_hits;
+    ite_misses = m.ite_misses;
+  }
+
+let hit_rate ~hits ~misses =
+  let t = hits + misses in
+  if t = 0 then 0.0 else float_of_int hits /. float_of_int t
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "nodes=%d apply memo %d/%d hits (%.0f%%), ite memo %d/%d hits (%.0f%%)"
+    s.nodes s.apply_hits
+    (s.apply_hits + s.apply_misses)
+    (100.0 *. hit_rate ~hits:s.apply_hits ~misses:s.apply_misses)
+    s.ite_hits
+    (s.ite_hits + s.ite_misses)
+    (100.0 *. hit_rate ~hits:s.ite_hits ~misses:s.ite_misses)

@@ -45,6 +45,27 @@ val clear_caches : man -> unit
 val num_nodes : man -> int
 (** Number of live interior nodes in the unique table. *)
 
+(** {1 Statistics}
+
+    Counters over a manager's lifetime, exposed so callers that keep a
+    manager alive across many compressions (the policy-signature cache of
+    lib/incr) can report how much hash-consing actually saves. *)
+
+type stats = {
+  nodes : int;  (** unique-table occupancy ({!num_nodes}) *)
+  apply_hits : int;
+      (** binary-operation ([and]/[or]/[xor]) memo hits *)
+  apply_misses : int;  (** uncached binary-operation recursion steps *)
+  ite_hits : int;
+  ite_misses : int;
+}
+
+val stats : man -> stats
+(** Cumulative since the manager was created ({!clear_caches} empties the
+    memo tables but does not reset the counters). *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
 (** {1 Constants and variables} *)
 
 val bot : t

@@ -99,27 +99,53 @@ type edge_signature = {
   sig_static : bool;
 }
 
-let edge_signatures ?universe (net : Device.network) ~dest =
+(* Whether OSPF can carry [dest] at all: only via redistribution, or
+   because an originator of [dest] injects it into OSPF (the
+   [origin_protocols] rule of [multi_srp]). When neither holds, OSPF link
+   state is inert for this class, and folding costs/areas into the
+   signature would both over-refine the abstraction and defeat
+   delta-driven reuse (lib/incr) on link-cost changes. Note this is a
+   whole-network property: the incremental engine compares it across a
+   delta before trusting signature locality. *)
+let ospf_live (net : Device.network) ~dest =
+  Array.exists (fun (r : Device.router) -> r.Device.redistribute <> [])
+    net.routers
+  || Array.exists
+       (fun (r : Device.router) ->
+         r.Device.ospf_links <> []
+         && List.exists (fun p -> Prefix.equal p dest) r.Device.originated)
+       net.routers
+
+let edge_signatures ?universe ?rm_bdd (net : Device.network) ~dest =
   let u =
     match universe with
     | Some u -> u
     | None -> Policy_bdd.universe_of_network net
   in
   (* Route-maps are shared across many interfaces; memoize their BDDs by
-     physical identity of the map. *)
-  let rm_memo : (Route_map.t option, Bdd.t) Hashtbl.t = Hashtbl.create 64 in
-  let rm_bdd rm =
-    match Hashtbl.find_opt rm_memo rm with
-    | Some b -> b
+     physical identity of the map. A caller that keeps route-map BDDs
+     alive across calls (the policy-signature cache of lib/incr) supplies
+     its own [rm_bdd] instead — it must encode against [u]. *)
+  let rm_bdd =
+    match rm_bdd with
+    | Some f -> f
     | None ->
-      let b =
-        match rm with
-        | None -> Policy_bdd.identity u
-        | Some rm -> Policy_bdd.encode_route_map u rm ~dest
+      let rm_memo : (Route_map.t option, Bdd.t) Hashtbl.t =
+        Hashtbl.create 64
       in
-      Hashtbl.replace rm_memo rm b;
-      b
+      fun rm ->
+        (match Hashtbl.find_opt rm_memo rm with
+        | Some b -> b
+        | None ->
+          let b =
+            match rm with
+            | None -> Policy_bdd.identity u
+            | Some rm -> Policy_bdd.encode_route_map u rm ~dest
+          in
+          Hashtbl.replace rm_memo rm b;
+          b)
   in
+  let ospf_live = ospf_live net ~dest in
   let memo = Hashtbl.create 256 in
   let signature recv sender =
     match Hashtbl.find_opt memo (recv, sender) with
@@ -142,14 +168,16 @@ let edge_signatures ?universe (net : Device.network) ~dest =
       in
       let sig_acl = Acl.permits (Device.acl_for r sender) dest in
       let sig_ospf =
-        match
-          (Device.ospf_link_config r sender,
-           Device.ospf_link_config net.routers.(sender) recv)
-        with
-        | Some l, Some _ ->
-          Some (l.Device.cost, r.Device.ospf_area,
-                net.routers.(sender).Device.ospf_area)
-        | _ -> None
+        if not ospf_live then None
+        else
+          match
+            (Device.ospf_link_config r sender,
+             Device.ospf_link_config net.routers.(sender) recv)
+          with
+          | Some l, Some _ ->
+            Some (l.Device.cost, r.Device.ospf_area,
+                  net.routers.(sender).Device.ospf_area)
+          | _ -> None
       in
       let sig_static = List.mem sender (Device.static_next_hops r ~dest) in
       let s = { sig_import; sig_export; sig_ibgp; sig_acl; sig_ospf; sig_static } in

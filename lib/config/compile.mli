@@ -38,7 +38,9 @@ type edge_signature = {
   sig_ibgp : bool;
   sig_acl : bool;  (** [u]'s outbound ACL towards [v] permits the dest *)
   sig_ospf : (int * int * int) option;
-      (** receiver-side cost, receiver area, sender area *)
+      (** receiver-side cost, receiver area, sender area; always [None]
+          when {!ospf_live} is false for the destination — inert link
+          state must not over-refine the abstraction *)
   sig_static : bool;  (** receiver has a static route for [dest] via sender *)
 }
 (** The signature of the directed edge [(u, v)]: everything [u]'s own
@@ -49,10 +51,24 @@ type edge_signature = {
     transfer function (each contributes its import to routes it receives
     and its export to routes its neighbors receive). *)
 
+val ospf_live : Device.network -> dest:Prefix.t -> bool
+(** Whether OSPF can carry [dest] at all: some router redistributes, or
+    an originator of [dest] has OSPF interfaces (the [origin_protocols]
+    rule of {!multi_srp}). A whole-network property, not a per-edge one:
+    the incremental engine must see it unchanged across a delta before it
+    trusts signature locality and reuses untouched classes. *)
+
 val edge_signatures :
   ?universe:Policy_bdd.universe ->
+  ?rm_bdd:(Route_map.t option -> Bdd.t) ->
   Device.network ->
   dest:Prefix.t ->
   Policy_bdd.universe * (int -> int -> edge_signature)
 (** Builds (lazily, memoized) the signature of every edge, sharing one BDD
-    universe. Returns the universe for reuse across destinations. *)
+    universe. Returns the universe for reuse across destinations.
+
+    [rm_bdd] (default: a per-call memo) supplies the BDD of a route-map
+    ([None] = permit-all), specialized to [dest]; it must encode against
+    the same universe. The incremental engine passes a cache that
+    persists across recompressions, so the signatures of untouched
+    devices become table lookups. *)

@@ -20,7 +20,56 @@ type summary = {
   degradation : degradation option;
 }
 
-let compress_ec_exn ?universe ?pinned ?(budget = Budget.infinite)
+let effective_prefs (net : Device.network) (ec : Ecs.ec) u =
+  let dest = Ecs.single_origin ec in
+  let p = Compile.prefs net ~dest:ec.Ecs.ec_prefix u in
+  (* In multi-protocol networks, administrative distance can act as
+     one more preference level: when BGP loop prevention rejects a
+     router's best BGP route, it can fall back to an OSPF route while
+     an identically-configured peer keeps BGP — the same asymmetry
+     local preference causes within BGP (section 4.3), so it needs the
+     same forall-forall treatment and node splitting. The reflection
+     requires the router to (a) run BGP with an OSPF fallback (worse
+     administrative distance than eBGP — static routes always win, so
+     they cannot flip), (b) redistribute into BGP, (c) sit in the
+     destination's IGP region, and (d) have an import that can accept
+     the destination back; only then does the sentinel level below
+     grow |prefs|. *)
+  let r = net.Device.routers.(u) in
+  let dest_r = net.Device.routers.(dest) in
+  let ospf_fallback = r.Device.ospf_links <> [] in
+  let redistributes =
+    List.mem Multi.Ospf_into_bgp r.Device.redistribute
+    || List.mem Multi.Static_into_bgp r.Device.redistribute
+  in
+  let same_region =
+    ospf_fallback
+    && (dest_r.Device.ospf_links = []
+       || dest_r.Device.ospf_area = r.Device.ospf_area)
+  in
+  let import_could_accept =
+    r.Device.bgp_neighbors <> []
+    && List.exists
+         (fun (_, (nb : Device.bgp_neighbor)) ->
+           match nb.import_rm with
+           | None -> true
+           | Some rm -> (
+             (* first unconditional clause decides; a conditional one
+                is conservatively assumed reachable *)
+             let scan = function
+               | [] -> false (* implicit deny *)
+               | (cl : Route_map.clause) :: _ -> (
+                 match (cl.conds, cl.verdict) with
+                 | [], Route_map.Permit -> true
+                 | [], Route_map.Deny -> false
+                 | _ :: _, _ -> true (* conditionally reachable *))
+             in
+             scan (Route_map.relevant rm ~dest:ec.Ecs.ec_prefix)))
+         r.Device.bgp_neighbors
+  in
+  if redistributes && same_region && import_could_accept then -1 :: p else p
+
+let compress_ec_exn ?universe ?rm_bdd ?pinned ?(budget = Budget.infinite)
     (net : Device.network) (ec : Ecs.ec) =
   let dest = Ecs.single_origin ec in
   let t0 = Timing.now () in
@@ -36,62 +85,14 @@ let compress_ec_exn ?universe ?pinned ?(budget = Budget.infinite)
       Bdd.set_budget universe.Policy_bdd.man Budget.infinite)
   @@ fun () ->
   let universe, signature =
-    Compile.edge_signatures ~universe net ~dest:ec.Ecs.ec_prefix
+    Compile.edge_signatures ~universe ?rm_bdd net ~dest:ec.Ecs.ec_prefix
   in
   let prefs_memo = Hashtbl.create 64 in
   let prefs u =
     match Hashtbl.find_opt prefs_memo u with
     | Some p -> p
     | None ->
-      let p = Compile.prefs net ~dest:ec.Ecs.ec_prefix u in
-      (* In multi-protocol networks, administrative distance can act as
-         one more preference level: when BGP loop prevention rejects a
-         router's best BGP route, it can fall back to an OSPF route while
-         an identically-configured peer keeps BGP — the same asymmetry
-         local preference causes within BGP (section 4.3), so it needs the
-         same forall-forall treatment and node splitting. The reflection
-         requires the router to (a) run BGP with an OSPF fallback (worse
-         administrative distance than eBGP — static routes always win, so
-         they cannot flip), (b) redistribute into BGP, (c) sit in the
-         destination's IGP region, and (d) have an import that can accept
-         the destination back; only then does the sentinel level below
-         grow |prefs|. *)
-      let r = net.Device.routers.(u) in
-      let dest_r = net.Device.routers.(dest) in
-      let ospf_fallback = r.Device.ospf_links <> [] in
-      let redistributes =
-        List.mem Multi.Ospf_into_bgp r.Device.redistribute
-        || List.mem Multi.Static_into_bgp r.Device.redistribute
-      in
-      let same_region =
-        ospf_fallback
-        && (dest_r.Device.ospf_links = []
-           || dest_r.Device.ospf_area = r.Device.ospf_area)
-      in
-      let import_could_accept =
-        r.Device.bgp_neighbors <> []
-        && List.exists
-             (fun (_, (nb : Device.bgp_neighbor)) ->
-               match nb.import_rm with
-               | None -> true
-               | Some rm -> (
-                 (* first unconditional clause decides; a conditional one
-                    is conservatively assumed reachable *)
-                 let scan = function
-                   | [] -> false (* implicit deny *)
-                   | (cl : Route_map.clause) :: _ -> (
-                     match (cl.conds, cl.verdict) with
-                     | [], Route_map.Permit -> true
-                     | [], Route_map.Deny -> false
-                     | _ :: _, _ -> true (* conditionally reachable *))
-                 in
-                 scan (Route_map.relevant rm ~dest:ec.Ecs.ec_prefix)))
-             r.Device.bgp_neighbors
-      in
-      let p =
-        if redistributes && same_region && import_could_accept then -1 :: p
-        else p
-      in
+      let p = effective_prefs net ec u in
       Hashtbl.replace prefs_memo u p;
       p
   in
@@ -112,10 +113,10 @@ let compress_ec_exn ?universe ?pinned ?(budget = Budget.infinite)
   { ec; abstraction; refine_stats; time_s = Timing.now () -. t0;
     degraded = false }
 
-let compress_ec ?universe ?pinned ?budget (net : Device.network)
+let compress_ec ?universe ?rm_bdd ?pinned ?budget (net : Device.network)
     (ec : Ecs.ec) =
   Bonsai_error.protect (fun () ->
-      try compress_ec_exn ?universe ?pinned ?budget net ec
+      try compress_ec_exn ?universe ?rm_bdd ?pinned ?budget net ec
       with Invalid_argument m ->
         Bonsai_error.error (Bonsai_error.Compile_error m))
 

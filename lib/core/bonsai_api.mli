@@ -32,8 +32,17 @@ type summary = {
       (** [Some _] iff any class fell back to the identity abstraction *)
 }
 
+val effective_prefs : Device.network -> Ecs.ec -> int -> int list
+(** The preference levels refinement must account for at a node:
+    {!Compile.prefs} plus, in multi-protocol networks, a [-1] sentinel
+    level when administrative distance can demote the node from BGP to a
+    redistributed OSPF/static route (the asymmetry needs the same ∀∀
+    treatment as local preference, §4.3). Exposed so the incremental
+    engine (lib/incr) computes the exact same levels as [compress_ec]. *)
+
 val compress_ec :
   ?universe:Policy_bdd.universe ->
+  ?rm_bdd:(Route_map.t option -> Bdd.t) ->
   ?pinned:int list ->
   ?budget:Budget.t ->
   Device.network ->
@@ -47,17 +56,27 @@ val compress_ec :
     [pinned] forces the listed concrete nodes into singleton partition
     classes before refinement (see {!Refine.find_partition}); the CEGAR
     repair loop uses it to carve fault-suspect nodes out of merged
-    groups. *)
+    groups.
+
+    [rm_bdd] is threaded to {!Compile.edge_signatures}: the incremental
+    engine's policy-signature cache ([Sig_cache] in lib/incr) supplies
+    it so route-maps of untouched devices are never re-encoded. It must
+    encode against [universe]. *)
 
 val compress_ec_exn :
   ?universe:Policy_bdd.universe ->
+  ?rm_bdd:(Route_map.t option -> Bdd.t) ->
   ?pinned:int list ->
   ?budget:Budget.t ->
   Device.network ->
   Ecs.ec ->
   ec_result
 (** Like {!compress_ec} but raising: [Budget.Exhausted] on exhaustion,
-    [Invalid_argument] on an anycast class. *)
+    [Invalid_argument] on an anycast class.
+
+    The incremental recompression API lives in lib/incr ([Incr.init] /
+    [Incr.recompress]) — it cannot be defined here because lib/incr
+    depends on this library. *)
 
 val compress :
   ?keep_unmatched_comms:bool ->

@@ -3,13 +3,21 @@ type stats = { iterations : int; splits : int }
 let group_prefs ~prefs members =
   List.concat_map prefs members |> List.sort_uniq Int.compare
 
-let find_partition ?(live_self = fun _ _ -> false) ?(pinned = [])
+let find_partition ?(live_self = fun _ _ -> false) ?(pinned = []) ?seed
     ?(budget = Budget.infinite) (net : Device.network) ~dest ~signature
     ~prefs =
   let g = net.Device.graph in
   let n = Graph.n_nodes g in
-  let part = Union_split_find.create n in
-  if n > 1 then ignore (Union_split_find.split part [ dest ]);
+  let part =
+    match seed with
+    | None -> Union_split_find.create n
+    | Some s ->
+      if Union_split_find.length s <> n then
+        invalid_arg "Refine.find_partition: seed size mismatch";
+      s
+  in
+  if n > 1 && not (Union_split_find.is_singleton part dest) then
+    ignore (Union_split_find.split part [ dest ]);
   (* Pins seed the partition with forced singletons. Refinement only
      splits classes, so pinned nodes stay alone in the fixpoint, and a
      larger pin set always yields a (weakly) finer partition — the

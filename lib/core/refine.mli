@@ -25,6 +25,7 @@ type stats = {
 val find_partition :
   ?live_self:(int -> int -> bool) ->
   ?pinned:int list ->
+  ?seed:Union_split_find.t ->
   ?budget:Budget.t ->
   Device.network ->
   dest:int ->
@@ -45,6 +46,16 @@ val find_partition :
     result. Pinning is monotone: a superset of pins produces a (weakly)
     finer partition, so a repair loop that only grows its pin set
     terminates at the discrete partition in the worst case.
+
+    [seed] (default: the coarsest partition, destination split out)
+    starts the fixpoint from an existing partition instead — the seed is
+    refined {e in place} and returned. Because the loop only splits, the
+    result is the coarsest {e stable} partition refining the seed: equal
+    to the from-scratch partition whenever the seed is coarser than it,
+    and otherwise a sound over-refinement that the incremental engine
+    (lib/incr) coarsens back with a quotient-level merge pass. The
+    destination and any [pinned] nodes are split out of the seed if not
+    already alone.
 
     [budget] (default infinite) is consumed one tick per worklist
     iteration; on exhaustion [Budget.Exhausted] is re-raised with a note

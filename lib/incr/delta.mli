@@ -1,0 +1,83 @@
+(** Configuration deltas: the change vocabulary of the incremental engine.
+
+    A delta names routers by their topology name (never by node id), so a
+    delta list computed against one network applies to any network with
+    the same names — node ids may be renumbered by unrelated changes.
+    [diff] and [apply] are inverses on the semantic content of a network:
+    [diff a (apply a ds)] is [[]] for any well-formed [ds], and
+    [apply a (diff a b)] is semantically equal to [b] (router and
+    neighbor-list orderings may differ; every observer keyed by node id or
+    name agrees). *)
+
+type dir = Import | Export
+
+type t =
+  | Link_up of string * string
+      (** add the undirected link; both routers must exist *)
+  | Link_down of string * string
+      (** remove the link {e and} both endpoints' per-neighbor
+          configuration for it (BGP session, OSPF interface, ACL, static
+          routes via the neighbor) — a link failure, not a config edit *)
+  | Node_add of string  (** append a fresh router with no configuration *)
+  | Node_remove of string
+      (** remove the router, its links, and every other router's
+          per-neighbor configuration referencing it *)
+  | Ospf_cost of { node : string; nbr : string; cost : int }
+      (** change the cost of an existing OSPF interface *)
+  | Ospf_link_set of {
+      node : string;
+      nbr : string;
+      link : Device.ospf_link option;
+    }  (** add/replace ([Some]) or remove ([None]) an OSPF interface *)
+  | Ospf_area_set of { node : string; area : int }
+  | Route_map_set of {
+      node : string;
+      nbr : string;
+      dir : dir;
+      rm : Route_map.t option;
+    }  (** replace one route-map of an existing BGP session *)
+  | Bgp_neighbor_set of {
+      node : string;
+      nbr : string;
+      config : Device.bgp_neighbor option;
+    }  (** add/replace ([Some]) or remove ([None]) a BGP session *)
+  | Acl_set of { node : string; nbr : string; acl : Acl.t option }
+  | Static_set of { node : string; routes : (Prefix.t * string) list }
+      (** replace the router's static routes (next hops by name) *)
+  | Originate_set of { node : string; prefixes : Prefix.t list }
+  | Redistribute_set of {
+      node : string;
+      redistribute : Multi.redistribution list;
+    }
+
+val diff : Device.network -> Device.network -> t list
+(** A delta list turning the first network into the second. Empty iff the
+    networks are semantically equal. Emitted in application order: node
+    removals, link removals, node additions, link additions, then
+    per-router configuration changes (route-map-granular when only a
+    session's import/export map changed). *)
+
+val apply : Device.network -> t list -> Device.network
+(** Apply deltas in order. Node ids of routers present in both networks
+    are preserved whenever no node is added or removed; added routers get
+    fresh ids past the existing ones.
+    @raise Invalid_argument when a delta references an unknown router, an
+    [Ospf_cost]/[Route_map_set] targets a non-existent interface/session,
+    or a [Node_add]/[Link_up] duplicates an existing name/link. *)
+
+val touched : Device.network -> t -> int list
+(** Node ids (in the given network) whose configuration or incident
+    topology the delta may change — every named router that resolves,
+    including static-route next hops. Conservative and name-based, so it
+    can be evaluated against the pre- or post-change network. *)
+
+val is_topology : t -> bool
+(** Changes the link set ([Link_up], [Link_down], [Node_add],
+    [Node_remove]). *)
+
+val is_node_change : t -> bool
+(** Changes the node set — node ids are not comparable across the change
+    and the incremental engine falls back to a full recompute. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

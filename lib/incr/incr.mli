@@ -1,0 +1,91 @@
+(** Incremental compression engine: delta-driven abstraction maintenance.
+
+    [init] compresses a network once and keeps the state alive; on each
+    [recompress] the engine applies a list of {!Delta.t}s and brings every
+    destination class's abstraction up to date while doing as little work
+    as the change allows:
+
+    - {e reuse}: classes none of whose refinement inputs changed (no
+      topology delta, no edge-signature change incident to a touched
+      router, preference levels and origin untouched) keep their old
+      result verbatim;
+    - {e seeded}: classes whose preference structure is trivial (every
+      router at the default local preference, no static routes for the
+      destination) re-refine starting from the {e old} partition — a
+      split-only fixpoint reaches the coarsest stable refinement of the
+      old partition, and a quotient-level refine-and-merge pass coarsens
+      it back to exactly the from-scratch partition (see DESIGN.md §12
+      for the proof sketch);
+    - {e scratch}: everything else recomputes, still sharing the
+      policy-signature cache ({!Sig_cache}) so unchanged route-maps are
+      never re-encoded;
+    - {e full rebuild}: node additions/removals renumber the id space and
+      attribute-universe changes invalidate cached BDDs — all classes
+      recompute against a fresh cache.
+
+    Repair pins survive: they are stored by router name, re-resolved
+    against the updated network, and both the seeded and the scratch path
+    force them into singleton classes. Budget exhaustion degrades exactly
+    like [Bonsai_api.compress]: the class that ran out and every remaining
+    class fall back to the identity abstraction.
+
+    This module is the library surface ISSUE.md calls
+    [Bonsai_api.recompress]; it lives here because lib/incr depends on
+    lib/core (see the pointer in [bonsai_api.mli]). *)
+
+type state
+
+type report = {
+  r_deltas : int;  (** deltas applied *)
+  r_ecs : int;  (** single-origin destination classes after the change *)
+  r_reused : int;  (** classes whose old result was reused verbatim *)
+  r_seeded : int;  (** classes re-refined from the surviving partition *)
+  r_scratch : int;  (** classes recomputed from scratch (cache-backed) *)
+  r_full_rebuild : bool;
+      (** node set or attribute universe changed: cache rebuilt, every
+          class recomputed *)
+  r_cache_hits : int;  (** {!Sig_cache} hits during this recompression *)
+  r_cache_misses : int;
+  r_time_s : float;  (** wall-clock for the whole recompression *)
+  r_degradation : Bonsai_api.degradation option;
+}
+
+val init :
+  ?pinned:int list ->
+  ?budget:Budget.t ->
+  Device.network ->
+  (state, Bonsai_error.t) result
+(** Compress from scratch and set up the cache. [pinned] node ids (of this
+    network) are remembered by name and enforced on every later
+    recompression. *)
+
+val recompress :
+  ?budget:Budget.t ->
+  state ->
+  Delta.t list ->
+  (report, Bonsai_error.t) result
+(** Apply the deltas and update every class's abstraction. The state is
+    mutated only on success; on [Error] it still describes the previous
+    network. An invalid delta (unknown router, duplicate link, ...) or a
+    post-change network failing [Device.validate] is a [Compile_error]. *)
+
+val recompress_net :
+  ?budget:Budget.t ->
+  state ->
+  Device.network ->
+  (Delta.t list * report, Bonsai_error.t) result
+(** [recompress_net st net'] diffs the current network against [net'] and
+    recompresses; returns the deltas it derived. The engine of
+    [bonsai watch], where only the new configuration text is known. *)
+
+val network : state -> Device.network
+val summary : state -> Bonsai_api.summary
+(** The maintained per-class results, shaped like a fresh
+    [Bonsai_api.compress] summary (times are those of the computation
+    that produced each surviving result). *)
+
+val cache_stats : state -> int * int
+(** Cumulative (hits, misses) of the policy-signature cache. *)
+
+val bdd_stats : state -> Bdd.stats
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,42 @@
+type t = {
+  sc_universe : Policy_bdd.universe;
+  sc_table : (Prefix.t * Route_map.t option, Bdd.t) Hashtbl.t;
+  mutable sc_hits : int;
+  mutable sc_misses : int;
+}
+
+let create net =
+  {
+    sc_universe = Policy_bdd.universe_of_network net;
+    sc_table = Hashtbl.create 256;
+    sc_hits = 0;
+    sc_misses = 0;
+  }
+
+let universe t = t.sc_universe
+
+(* Everything that determines the variable layout; [man] excluded. *)
+let fingerprint (u : Policy_bdd.universe) =
+  (u.comms, u.lps, u.meds, u.lp_bits, u.med_bits, u.width)
+
+let compatible t net =
+  fingerprint t.sc_universe = fingerprint (Policy_bdd.universe_of_network net)
+
+let rm_bdd t ~dest rm =
+  let key = (dest, rm) in
+  match Hashtbl.find_opt t.sc_table key with
+  | Some b ->
+    t.sc_hits <- t.sc_hits + 1;
+    b
+  | None ->
+    t.sc_misses <- t.sc_misses + 1;
+    let b =
+      match rm with
+      | None -> Policy_bdd.identity t.sc_universe
+      | Some rm -> Policy_bdd.encode_route_map t.sc_universe rm ~dest
+    in
+    Hashtbl.replace t.sc_table key b;
+    b
+
+let stats t = (t.sc_hits, t.sc_misses)
+let bdd_stats t = Bdd.stats t.sc_universe.Policy_bdd.man

@@ -19,6 +19,22 @@ let discrete n =
   done;
   { n; cls = Array.init (max n 1) Fun.id; member_lists; next_id = n }
 
+let of_class_array a =
+  let n = Array.length a in
+  let member_lists = Hashtbl.create 16 in
+  let max_id = ref (-1) in
+  for x = n - 1 downto 0 do
+    let c = a.(x) in
+    if c < 0 then
+      invalid_arg "Union_split_find.of_class_array: negative class id";
+    if c > !max_id then max_id := c;
+    let ms = Option.value ~default:[] (Hashtbl.find_opt member_lists c) in
+    Hashtbl.replace member_lists c (x :: ms)
+  done;
+  let cls = Array.make (max n 1) 0 in
+  Array.blit a 0 cls 0 n;
+  { n; cls; member_lists; next_id = !max_id + 1 }
+
 let length t = t.n
 
 let num_classes t = Hashtbl.length t.member_lists
@@ -67,6 +83,23 @@ let split t xs =
       Hashtbl.replace t.member_lists fresh moved;
       fresh
     end
+
+let merge t x y =
+  check_elt t x;
+  check_elt t y;
+  let cx = t.cls.(x) and cy = t.cls.(y) in
+  if cx = cy then cx
+  else begin
+    let mx = members t cx and my = members t cy in
+    let keep, kill, kms, dms =
+      if List.length mx >= List.length my then (cx, cy, mx, my)
+      else (cy, cx, my, mx)
+    in
+    List.iter (fun e -> t.cls.(e) <- keep) dms;
+    Hashtbl.remove t.member_lists kill;
+    Hashtbl.replace t.member_lists keep (List.merge Int.compare kms dms);
+    keep
+  end
 
 let pin t x =
   check_elt t x;

@@ -14,6 +14,15 @@ val create : int -> t
     containing every element. [n] must be non-negative; [n = 0] gives an
     empty partition. *)
 
+val of_class_array : int array -> t
+(** [of_class_array a] restores a partition from a class-assignment
+    snapshot: element [x] joins class [a.(x)]. Accepts any array of
+    non-negative ids (in particular {!to_class_array} and {!canonical}
+    output, or an [Abstraction.group_of] table), so a partition computed
+    by an earlier refinement can be re-used as the {e seed} of an
+    incremental one.
+    @raise Invalid_argument on a negative class id. *)
+
 val discrete : int -> t
 (** [discrete n] is the finest partition of [0 .. n-1]: every element its
     own class. Equivalent to [create n] followed by splitting each element
@@ -45,6 +54,14 @@ val split : t -> int list -> int
     is a no-op and returns the existing id).
     @raise Invalid_argument if elements span several classes or are
     duplicated. *)
+
+val merge : t -> int -> int -> int
+(** [merge t x y] coarsens the partition by uniting the classes of [x]
+    and [y]; returns the id of the surviving class (the larger one; the
+    other id dies). A no-op when they already share a class. Merging is
+    the inverse device of {!split}: the incremental refiner first
+    coarsens a stale partition locally and then re-splits, instead of
+    refining from scratch. *)
 
 val pin : t -> int -> int
 (** [pin t x] forces [x] into a singleton class and returns its class id
