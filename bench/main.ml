@@ -298,7 +298,7 @@ let ablation_uu () =
                          if v >= 1 && v <= 3 && u = 4 then Some prefer_a
                          else None
                        in
-                       (u, { Device.import_rm; export_rm = None; ibgp = false }));
+                       (u, { Device.import_rm; export_rm = None; ibgp = false; rel = Device.Rel_unknown }));
             }
           in
           if v = 0 then
@@ -611,7 +611,7 @@ let micro () =
           {
             (Device.default_router "a") with
             Device.bgp_neighbors =
-              [ (1, { Device.import_rm = Some rm; export_rm = None; ibgp = false }) ];
+              [ (1, { Device.import_rm = Some rm; export_rm = None; ibgp = false; rel = Device.Rel_unknown }) ];
           };
           Device.default_router "b";
         |];

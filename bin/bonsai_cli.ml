@@ -559,7 +559,8 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
 
 (* --- lint -------------------------------------------------------------- *)
 
-let lint_cmd_run spec format min_severity no_compression list_checks =
+let lint_cmd_run spec format min_severity no_compression flow budget_ms
+    budget_ticks list_checks =
   guarded @@ fun () ->
   if list_checks then begin
     List.iter
@@ -569,13 +570,112 @@ let lint_cmd_run spec format min_severity no_compression list_checks =
   end
   else begin
     let net, locs = resolve_network_full spec in
-    let ds = Lint.run ?locs ~compression:(not no_compression) net in
+    let budget = make_budget budget_ms budget_ticks in
+    let ds = Lint.run ?locs ~compression:(not no_compression) ~flow ~budget net in
     let shown = Lint.filter ~min_severity ds in
     (match format with
     | `Text -> Format.printf "%a" Lint.pp_text shown
     | `Json -> Format.printf "%a" Lint.pp_json shown);
     if Lint.has_errors ds then 1 else 0
   end
+
+(* --- flow --------------------------------------------------------------- *)
+
+(* Whole-network provenance checks (lib/analysis: Flow + Lint_flow). Exit
+   codes: 0 clean, 1 at least one warning-or-error finding, 3 the dataflow
+   budget ran out (facts degraded to Unknown; the degradation is reported
+   instead of verdicts computed from partial state). *)
+let flow_cmd_run spec ec_prefix format facts budget_ms budget_ticks =
+  guarded @@ fun () ->
+  let net, locs = resolve_network_full spec in
+  let budget = make_budget budget_ms budget_ticks in
+  let ds = Lint_flow.run ?locs ~budget net in
+  let ds = List.sort Diag.compare ds in
+  let degraded =
+    List.exists (fun d -> String.equal d.Diag.check "flow-degraded") ds
+  in
+  let names = Graph.name net.Device.graph in
+  let fact_dump =
+    if not facts then None
+    else begin
+      let ec = find_ec net ec_prefix in
+      let t = Flow.analyze ~budget net ec in
+      let roles =
+        match Bonsai_api.role_partition net ec with
+        | Ok g -> Some g
+        | Error _ -> None
+      in
+      let rows =
+        List.init (Graph.n_nodes net.Device.graph) (fun r ->
+            let plane p =
+              match Flow.fact t r p with
+              | None -> None
+              | Some f -> Some (Format.asprintf "%a" (Flow.pp_fact ~names) f)
+            in
+            ( r,
+              Option.map (fun g -> g.(r)) roles,
+              plane Flow.Bgp,
+              plane Flow.Ospf ))
+      in
+      Some (ec, rows)
+    end
+  in
+  (match format with
+  | `Text ->
+    List.iter (fun d -> Format.printf "%a@." Diag.pp d) ds;
+    Format.printf "%d finding%s@." (List.length ds)
+      (if List.length ds = 1 then "" else "s");
+    (match fact_dump with
+    | None -> ()
+    | Some (ec, fact_rows) ->
+      Format.printf "facts for %a:@." Prefix.pp ec.Ecs.ec_prefix;
+      List.iter
+        (fun (r, role, bgp, ospf) ->
+          Format.printf "  %s%s:@." (names r)
+            (match role with
+            | Some g -> Printf.sprintf " (role %d)" g
+            | None -> "");
+          let show plane = function
+            | None -> Format.printf "    %s: unreachable@." plane
+            | Some s -> Format.printf "    %s: %s@." plane s
+          in
+          show "bgp" bgp;
+          show "ospf" ospf)
+        fact_rows)
+  | `Json ->
+    let diag_items = String.concat "," (List.map Diag.to_json ds) in
+    let fact_field =
+      match fact_dump with
+      | None -> ""
+      | Some (_, fact_rows) ->
+        Printf.sprintf ", \"facts\": [%s]"
+          (String.concat ","
+             (List.map
+                (fun (r, role, bgp, ospf) ->
+                  Printf.sprintf
+                    "{\"router\": %s, \"role\": %s, \"bgp\": %s, \"ospf\": %s}"
+                    (json_string (names r))
+                    (match role with
+                    | Some g -> string_of_int g
+                    | None -> "null")
+                    (match bgp with Some s -> json_string s | None -> "null")
+                    (match ospf with Some s -> json_string s | None -> "null"))
+                fact_rows))
+    in
+    Printf.printf "{\"findings\": [%s], \"degraded\": %b%s}\n" diag_items
+      degraded fact_field);
+  if degraded then
+    (* same exit class as every other budget exhaustion *)
+    Bonsai_error.exit_code
+      (Bonsai_error.Budget_exceeded
+         { Budget.phase = "flow"; ticks = 0; elapsed_s = 0.0; note = None })
+  else if
+    List.exists
+      (fun d ->
+        Diag.severity_rank d.Diag.severity >= Diag.severity_rank Diag.Warning)
+      ds
+  then 1
+  else 0
 
 (* --- verify ------------------------------------------------------------ *)
 
@@ -1230,6 +1330,15 @@ let lint_cmd =
       value & flag
       & info [ "list-checks" ] ~doc:"List every check and exit.")
   in
+  let flow =
+    Arg.(
+      value & flag
+      & info [ "flow" ]
+          ~doc:
+            "Additionally run the whole-network route-provenance checks \
+             (see $(b,bonsai flow)): cross-protocol leaks, unintended \
+             transit, community provenance, blocker localization.")
+  in
   Cmd.v
     (cmd_info "lint"
        ~doc:
@@ -1238,7 +1347,36 @@ let lint_cmd =
           positions)")
     Term.(
       const lint_cmd_run $ network_arg $ format $ min_severity
-      $ no_compression $ list_checks)
+      $ no_compression $ flow $ budget_ms_arg $ budget_ticks_arg
+      $ list_checks)
+
+let flow_cmd =
+  let facts =
+    Arg.(
+      value & flag
+      & info [ "facts" ]
+          ~doc:
+            "Also dump the provenance fixpoint for the class selected by \
+             $(b,--ec) (default: the first): per router and plane, the \
+             possible route origins, their taint, and the communities the \
+             route may carry, grouped by compressed role.")
+  in
+  Cmd.v
+    (cmd_info "flow"
+       ~doc:
+         "Whole-network route-provenance dataflow analysis: push (origin, \
+          taint, communities) facts over every way a route can propagate — \
+          OSPF adjacencies, deliverable BGP sessions, redistribution — to \
+          a fixpoint, then report cross-protocol route leaks, unintended \
+          transit (Gao-Rexford violations), communities matched where no \
+          reachable origin can set them, and the upstream policy \
+          divergence blocking compression. Facts over-approximate the \
+          simulator, so every \"no origin can do X\" verdict is sound. \
+          Exit 0 clean, 1 findings at warning or above, 3 budget exhausted \
+          (facts degrade to unknown, never to partial state).")
+    Term.(
+      const flow_cmd_run $ network_arg $ ec_arg $ format_arg $ facts
+      $ budget_ms_arg $ budget_ticks_arg)
 
 let verify_cmd =
   let src =
@@ -1436,4 +1574,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc ~exits)
-          [ info_cmd; compress_cmd; diff_cmd; watch_cmd; lint_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd ]))
+          [ info_cmd; compress_cmd; diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd ]))

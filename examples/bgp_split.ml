@@ -30,7 +30,7 @@ let network () =
                      let import_rm =
                        if v >= 1 && v <= 3 && u = 4 then Some prefer_a else None
                      in
-                     (u, { Device.import_rm; export_rm = None; ibgp = false }));
+                     (u, { Device.import_rm; export_rm = None; ibgp = false; rel = Device.Rel_unknown }));
           }
         in
         if v = 0 then

@@ -1,0 +1,75 @@
+type 'fact problem = {
+  nodes : int;
+  succ : int -> int list;
+  transfer : src:int -> dst:int -> 'fact -> 'fact option;
+  seeds : (int * 'fact) list;
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  top : 'fact;
+  widen : (joins:int -> 'fact -> 'fact) option;
+}
+
+type 'fact result = {
+  facts : 'fact option array;
+  relaxations : int;
+  degraded : Budget.info option;
+}
+
+let solve ?(budget = Budget.infinite) p =
+  let facts = Array.make p.nodes None in
+  let joins = Array.make p.nodes 0 in
+  let in_queue = Array.make p.nodes false in
+  let queue = Queue.create () in
+  let enqueue v =
+    if not in_queue.(v) then begin
+      in_queue.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  let relaxations = ref 0 in
+  (* Join [f] into node [v]; enqueue on change. *)
+  let absorb v f =
+    let f' =
+      match facts.(v) with None -> f | Some old -> p.join old f
+    in
+    let changed =
+      match facts.(v) with None -> true | Some old -> not (p.equal old f')
+    in
+    if changed then begin
+      joins.(v) <- joins.(v) + 1;
+      let f' =
+        match p.widen with
+        | Some w -> w ~joins:joins.(v) f'
+        | None -> f'
+      in
+      facts.(v) <- Some f';
+      enqueue v
+    end
+  in
+  match
+    List.iter (fun (v, f) -> absorb v f) p.seeds;
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      in_queue.(u) <- false;
+      match facts.(u) with
+      | None -> ()
+      | Some fu ->
+        List.iter
+          (fun v ->
+            Budget.tick budget ~phase:"flow";
+            incr relaxations;
+            match p.transfer ~src:u ~dst:v fu with
+            | None -> ()
+            | Some f -> absorb v f)
+          (p.succ u)
+    done
+  with
+  | () -> { facts; relaxations = !relaxations; degraded = None }
+  | exception Budget.Exhausted info ->
+    (* Degrade soundly: every node becomes "unknown" rather than keeping a
+       partial under-approximation that would hide diagnostics. *)
+    {
+      facts = Array.make p.nodes (Some p.top);
+      relaxations = !relaxations;
+      degraded = Some info;
+    }

@@ -1,0 +1,43 @@
+(** Generic forward dataflow over a propagation graph (the static-analysis
+    counterpart of the SRP solver's fixpoint).
+
+    A problem is a directed graph whose nodes carry abstract facts from a
+    join-semilattice: [join] combines facts flowing into a node, [transfer]
+    pushes a fact across an edge ([None]: the edge filters it), and seeds
+    place initial facts. [solve] runs a worklist to the least fixpoint
+    above the seeds.
+
+    Soundness under resource limits: each edge relaxation consumes one
+    {!Budget} tick. If the budget runs out, the analysis does {e not}
+    return the partial (unsound, under-approximate) state — every node's
+    fact is forced to [top] ("anything may reach here") and the exhaustion
+    info is reported in [degraded]. Clients that treat [top] as "unknown"
+    therefore stay sound: facts only ever over-approximate, never drop, a
+    reachable concrete state. [widen] bounds lattice height the same way:
+    a node joined too many times can be bumped toward [top] instead of
+    climbing an unbounded chain. *)
+
+type 'fact problem = {
+  nodes : int;  (** node ids are [0 .. nodes-1] *)
+  succ : int -> int list;  (** out-edges of a node *)
+  transfer : src:int -> dst:int -> 'fact -> 'fact option;
+      (** fact leaving [src] as seen arriving at [dst]; [None] = filtered *)
+  seeds : (int * 'fact) list;  (** initial facts (joined into bottom) *)
+  join : 'fact -> 'fact -> 'fact;
+  equal : 'fact -> 'fact -> bool;
+  top : 'fact;  (** the "unknown" element: absorbing for [join] *)
+  widen : (joins:int -> 'fact -> 'fact) option;
+      (** applied after each changing join with the node's join count;
+          must eventually reach a fixed fact (e.g. jump to [top]) *)
+}
+
+type 'fact result = {
+  facts : 'fact option array;  (** [None]: nothing reaches the node *)
+  relaxations : int;  (** edge relaxations performed *)
+  degraded : Budget.info option;
+      (** budget exhaustion: every fact was forced to [Some top] *)
+}
+
+val solve : ?budget:Budget.t -> 'fact problem -> 'fact result
+(** Least fixpoint by FIFO worklist; one budget tick (phase ["flow"]) per
+    edge relaxation. Never raises {!Budget.Exhausted} — see [degraded]. *)

@@ -32,15 +32,41 @@ type t = { check : string; severity : severity; loc : loc; message : string }
 let make ~check ~severity ?(loc = no_loc) message =
   { check; severity; loc; message }
 
+(* Report order: source position first (diagnostics read like compiler
+   output over the config file — findings without a line sort last), then
+   the check id, then severity and the remaining location fields for a
+   total, deterministic order. *)
+let opt_compare cmp a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> 1
+  | Some _, None -> -1
+  | Some a, Some b -> cmp a b
+
+let loc_compare a b =
+  let c = opt_compare String.compare a.router b.router in
+  if c <> 0 then c
+  else
+    let c = opt_compare String.compare a.neighbor b.neighbor in
+    if c <> 0 then c
+    else
+      let c = opt_compare String.compare a.rm_name b.rm_name in
+      if c <> 0 then c else opt_compare Int.compare a.clause b.clause
+
 let compare a b =
-  let c = Int.compare (severity_rank b.severity) (severity_rank a.severity) in
+  let c = opt_compare Int.compare a.loc.line b.loc.line in
   if c <> 0 then c
   else
     let c = String.compare a.check b.check in
     if c <> 0 then c
     else
-      let c = Stdlib.compare a.loc b.loc in
-      if c <> 0 then c else String.compare a.message b.message
+      let c =
+        Int.compare (severity_rank b.severity) (severity_rank a.severity)
+      in
+      if c <> 0 then c
+      else
+        let c = loc_compare a.loc b.loc in
+        if c <> 0 then c else String.compare a.message b.message
 
 let pp_loc ppf (l : loc) =
   let parts = ref [] in

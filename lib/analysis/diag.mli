@@ -37,8 +37,10 @@ val make :
   check:string -> severity:severity -> ?loc:loc -> string -> t
 
 val compare : t -> t -> int
-(** Orders by descending severity, then check name, then location, then
-    message — the deterministic report order. *)
+(** The deterministic report order: source line first (diagnostics without
+    a line sort last), then check id, then descending severity, then the
+    remaining location fields and the message. Total — equal only for
+    identical diagnostics — so report output is stable across runs. *)
 
 val pp : Format.formatter -> t -> unit
 (** One line: [severity: [check] location: message]. *)

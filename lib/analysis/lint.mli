@@ -12,13 +12,18 @@ val checks : (string * string) list
 val run :
   ?locs:Config_text.loc_table ->
   ?compression:bool ->
+  ?flow:bool ->
+  ?budget:Budget.t ->
   Device.network ->
   Diag.t list
-(** Run every check; diagnostics sorted by severity (errors first), then
-    check name and location. [locs] (from {!Config_text.parse_with_locs})
-    adds source line numbers. [~compression:false] skips the
-    compression-blocker report (it builds a full policy-BDD universe,
-    noticeably slower on big networks). *)
+(** Run every check; diagnostics in the deterministic report order of
+    {!Diag.compare} — source line first, then check id — so output is
+    stable across runs and machines. [locs] (from
+    {!Config_text.parse_with_locs}) adds source line numbers.
+    [~compression:false] skips the compression-blocker report (it builds
+    a full policy-BDD universe, noticeably slower on big networks).
+    [~flow:true] additionally runs the whole-network provenance checks
+    ({!Lint_flow}), metered by [budget]. *)
 
 val filter : min_severity:Diag.severity -> Diag.t list -> Diag.t list
 val has_errors : Diag.t list -> bool

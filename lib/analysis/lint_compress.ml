@@ -54,8 +54,18 @@ let describe_var u i =
   | 1 -> Printf.sprintf "output %s" base
   | _ -> name
 
-let run ?locs (net : Device.network) =
-  ignore locs;
+type blocker = {
+  bl_dest : Prefix.t;
+  bl_origin : int;
+  bl_r1 : int;
+  bl_w1 : int;
+  bl_r2 : int;
+  bl_w2 : int;
+  bl_var : string;
+  bl_witness : string;
+}
+
+let blockers (net : Device.network) =
   let g = net.Device.graph in
   let n = Graph.n_nodes g in
   match
@@ -66,6 +76,7 @@ let run ?locs (net : Device.network) =
   | None -> []
   | Some ec ->
     let dest = ec.Ecs.ec_prefix in
+    let origin = Ecs.single_origin ec in
     let u = Policy_bdd.universe_of_network net in
     let m = u.Policy_bdd.man in
     let groups = Hashtbl.create 16 in
@@ -74,6 +85,13 @@ let run ?locs (net : Device.network) =
       Hashtbl.replace groups k
         (v :: Option.value ~default:[] (Hashtbl.find_opt groups k))
     done;
+    (* Deterministic group order: by smallest member id (Hashtbl.iter
+       order depends on key hashing). *)
+    let groups =
+      Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+      |> List.filter (function [] | [ _ ] -> false | _ -> true)
+      |> List.sort (fun a b -> Int.compare (List.hd a) (List.hd b))
+    in
     (* Multiset difference of policy vectors by semantic (pointer)
        equality: the interfaces of [a] whose policy has no matching
        occurrence among [b]'s. Shared policies are exactly what would let
@@ -94,11 +112,11 @@ let run ?locs (net : Device.network) =
       |> fst
     in
     let out = ref [] in
-    Hashtbl.iter
-      (fun _ members ->
-        match List.rev members with
+    List.iter
+      (fun members ->
+        match members with
         | [] | [ _ ] -> ()
-        | rep :: rest ->
+        | rep :: rest -> (
           let pv = policy_vector u net ~dest in
           let vec_rep = pv rep in
           (* The closest blocking pair in the group: the semantically
@@ -142,16 +160,34 @@ let run ?locs (net : Device.network) =
                        (Policy_bdd.var_name u i))
               |> String.concat " "
             in
-            let name = Graph.name g in
             out :=
-              Diag.make ~check:"compression-blocker" ~severity:Diag.Info
-                ~loc:(Diag.at_router ~neighbor:(name r2) (name r1))
-                (Printf.sprintf
-                   "%s and %s fill the same topological role but cannot \
-                    share an abstract node for %s: the policy on %s<-%s \
-                    differs from %s<-%s starting at %s (witness: %s)"
-                   (name r1) (name r2) (Prefix.to_string dest) (name r1)
-                   (name w1) (name r2) (name w2) (describe_var u v0) witness)
-              :: !out)
+              {
+                bl_dest = dest;
+                bl_origin = origin;
+                bl_r1 = r1;
+                bl_w1 = w1;
+                bl_r2 = r2;
+                bl_w2 = w2;
+                bl_var = describe_var u v0;
+                bl_witness = witness;
+              }
+              :: !out))
       groups;
     List.rev !out
+
+let run ?locs (net : Device.network) =
+  ignore locs;
+  let name = Graph.name net.Device.graph in
+  List.map
+    (fun b ->
+      Diag.make ~check:"compression-blocker" ~severity:Diag.Info
+        ~loc:(Diag.at_router ~neighbor:(name b.bl_r2) (name b.bl_r1))
+        (Printf.sprintf
+           "%s and %s fill the same topological role but cannot share an \
+            abstract node for %s: the policy on %s<-%s differs from %s<-%s \
+            starting at %s (witness: %s)"
+           (name b.bl_r1) (name b.bl_r2)
+           (Prefix.to_string b.bl_dest)
+           (name b.bl_r1) (name b.bl_w1) (name b.bl_r2) (name b.bl_w2)
+           b.bl_var b.bl_witness))
+    (blockers net)

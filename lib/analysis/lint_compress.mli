@@ -13,4 +13,20 @@
 
 val checks : (string * string) list
 
+type blocker = {
+  bl_dest : Prefix.t;  (** the destination class the pair was compared on *)
+  bl_origin : int;  (** the class's (unique) origin node *)
+  bl_r1 : int;  (** representative of the group *)
+  bl_w1 : int;  (** the interface of [bl_r1] whose policy blocks *)
+  bl_r2 : int;  (** the group member it cannot merge with *)
+  bl_w2 : int;  (** the interface of [bl_r2] compared against *)
+  bl_var : string;  (** first differing BDD variable, described *)
+  bl_witness : string;  (** a satisfying assignment of the XOR *)
+}
+
+val blockers : Device.network -> blocker list
+(** Structured blocker reports (one per topological group with a
+    near-equal blocking pair), deterministic order. The flow analysis
+    builds its upstream-divergence localization on top of these. *)
+
 val run : ?locs:Config_text.loc_table -> Device.network -> Diag.t list

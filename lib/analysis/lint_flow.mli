@@ -1,0 +1,23 @@
+(** Whole-network checks over the route-provenance dataflow ({!Flow}).
+
+    Unlike the per-device linters, these only fire when the misbehaving
+    route can actually {e get there}: every verdict is computed against
+    the provenance fixpoint, which over-approximates the simulator, so
+    "no reachable origin can do X" conclusions are sound. Facts degraded
+    to [Unknown] (budget exhaustion) suppress the checks that would read
+    them and add a single [flow-degraded] warning instead — the analysis
+    never reports from partial state. *)
+
+val checks : (string * string) list
+
+val run :
+  ?locs:Config_text.loc_table ->
+  ?budget:Budget.t ->
+  Device.network ->
+  Diag.t list
+(** All flow checks over every destination equivalence class. *)
+
+val analyses :
+  ?budget:Budget.t -> Device.network -> Flow.t list
+(** The per-class provenance fixpoints the checks are computed from (for
+    the CLI's [--facts] dump); one per {!Ecs.compute} class, same order. *)

@@ -35,6 +35,21 @@ let bgp_srp (net : Device.network) ~dest ~dest_prefix =
   Bgp.make ~tie_filter:(matched_comms net)
     ~policy:(bgp_policy net ~dest:dest_prefix) net.graph ~dest
 
+(* Which protocols an origin node announces into: BGP if it speaks BGP,
+   OSPF if it has OSPF interfaces; a node with neither still announces
+   into BGP so the destination is not silently unreachable. Shared with
+   the static flow analysis, which must seed its origins exactly like the
+   simulator does. *)
+let origin_protocols (net : Device.network) origin =
+  let r = net.routers in
+  let ps =
+    (match r.(origin).Device.bgp_neighbors with
+    | [] -> []
+    | _ -> [ Multi.P_ebgp ])
+    @ match r.(origin).Device.ospf_links with [] -> [] | _ -> [ Multi.P_ospf ]
+  in
+  match ps with [] -> [ Multi.P_ebgp ] | ps -> ps
+
 let multi_srp (net : Device.network) ~dest ~dest_prefix =
   let r = net.routers in
   let ospf_enabled u v =
@@ -65,13 +80,7 @@ let multi_srp (net : Device.network) ~dest ~dest_prefix =
          r)
     |> List.concat
   in
-  let origin_protocols =
-    (if r.(dest).Device.bgp_neighbors <> [] then [ Multi.P_ebgp ] else [])
-    @ if r.(dest).Device.ospf_links <> [] then [ Multi.P_ospf ] else []
-  in
-  let origin_protocols =
-    if origin_protocols = [] then [ Multi.P_ebgp ] else origin_protocols
-  in
+  let origin_protocols = origin_protocols net dest in
   Multi.make ~ospf_cost ~ospf_area ~ospf_enabled ~bgp_enabled ~ibgp
     ~bgp_policy:(bgp_policy net ~dest:dest_prefix)
     ~static_routes:statics

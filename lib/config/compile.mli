@@ -15,6 +15,12 @@ val bgp_policy : Device.network -> dest:Prefix.t -> int -> int -> Bgp.policy
 val bgp_srp : Device.network -> dest:int -> dest_prefix:Prefix.t -> Bgp.attr Srp.t
 (** Single-protocol eBGP network (the synthetic evaluation networks). *)
 
+val origin_protocols : Device.network -> int -> Multi.proto list
+(** The protocols node [origin] announces a destination into: eBGP if it
+    has BGP neighbors, OSPF if it has OSPF interfaces, eBGP as a fallback
+    when it has neither. Exactly the origination rule of {!multi_srp};
+    the flow analysis seeds its origin facts with it. *)
+
 val multi_srp :
   Device.network -> dest:int -> dest_prefix:Prefix.t -> Multi.attr Srp.t
 (** Multi-protocol network: eBGP/iBGP per BGP neighbor configs, OSPF per

@@ -91,8 +91,11 @@ let print (net : Device.network) =
         r.ospf_links;
       List.iter
         (fun (u, (nb : Device.bgp_neighbor)) ->
-          pr "  bgp neighbor %s%s%s%s\n" (Graph.name g u)
+          pr "  bgp neighbor %s%s%s%s%s\n" (Graph.name g u)
             (if nb.ibgp then " ibgp" else "")
+            (match nb.rel with
+            | Device.Rel_unknown -> ""
+            | rel -> " " ^ Device.relation_name rel)
             (match nb.import_rm with
             | Some rm -> " import " ^ name_of_rm rm
             | None -> "")
@@ -410,12 +413,22 @@ let parse_full text =
             acl_target := None;
             let u = node nbr lineno in
             let ibgp = ref false
+            and rel = ref Device.Rel_unknown
             and import_rm = ref None
             and export_rm = ref None in
             let rec eat = function
               | [] -> ()
               | "ibgp" :: rest ->
                 ibgp := true;
+                eat rest
+              | "provider" :: rest ->
+                rel := Device.Provider;
+                eat rest
+              | "customer" :: rest ->
+                rel := Device.Customer;
+                eat rest
+              | "peer" :: rest ->
+                rel := Device.Peer;
                 eat rest
               | "import" :: rm :: rest ->
                 import_rm := Some (finished_rm rm lineno);
@@ -437,6 +450,7 @@ let parse_full text =
                           Device.import_rm = !import_rm;
                           export_rm = !export_rm;
                           ibgp = !ibgp;
+                          rel = !rel;
                         } );
                     ];
               }

@@ -1,7 +1,23 @@
+type relation = Rel_unknown | Provider | Customer | Peer
+
+let relation_equal a b =
+  match (a, b) with
+  | Rel_unknown, Rel_unknown | Provider, Provider | Customer, Customer
+  | Peer, Peer ->
+    true
+  | (Rel_unknown | Provider | Customer | Peer), _ -> false
+
+let relation_name = function
+  | Rel_unknown -> "unknown"
+  | Provider -> "provider"
+  | Customer -> "customer"
+  | Peer -> "peer"
+
 type bgp_neighbor = {
   import_rm : Route_map.t option;
   export_rm : Route_map.t option;
   ibgp : bool;
+  rel : relation;
 }
 
 type ospf_link = { cost : int; area : int }
@@ -37,7 +53,8 @@ let ebgp_full ?import_rm ?export_rm graph v r =
     r with
     bgp_neighbors =
       Array.to_list nbrs
-      |> List.map (fun u -> (u, { import_rm; export_rm; ibgp = false }));
+      |> List.map (fun u ->
+             (u, { import_rm; export_rm; ibgp = false; rel = Rel_unknown }));
   }
 
 let validate net =

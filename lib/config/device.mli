@@ -5,10 +5,19 @@
     configurations mention neighbors by node id; the compiler checks they
     agree with the topology. *)
 
+type relation = Rel_unknown | Provider | Customer | Peer
+(** Business relationship toward a BGP neighbor (Gao–Rexford): routes
+    learned from a provider or peer should only be exported to customers.
+    [Rel_unknown] (the default) opts the session out of transit checks. *)
+
+val relation_equal : relation -> relation -> bool
+val relation_name : relation -> string
+
 type bgp_neighbor = {
   import_rm : Route_map.t option;  (** [None]: permit all, unchanged *)
   export_rm : Route_map.t option;
   ibgp : bool;
+  rel : relation;  (** relationship {e of} the neighbor to this router *)
 }
 
 type ospf_link = { cost : int; area : int }

@@ -30,6 +30,7 @@ let ebgp_shortest_path ?originators (graph : Graph.t) : Device.network =
                          Device.import_rm = Some space_filter;
                          export_rm = None;
                          ibgp = false;
+                         rel = Device.Rel_unknown;
                        } ));
           }
         in
@@ -156,6 +157,7 @@ let datacenter () =
                        Device.import_rm = Some space_filter;
                        export_rm;
                        ibgp = false;
+                       rel = Device.Rel_unknown;
                      } ))
           in
           let first_spine =
@@ -198,6 +200,7 @@ let datacenter () =
                              Device.import_rm = Some import_rm;
                              export_rm = None;
                              ibgp = false;
+                             rel = Device.Rel_unknown;
                            } ));
               }
           in
@@ -305,6 +308,7 @@ let wan () =
                        Device.import_rm = Some space_filter;
                        export_rm = Some (backbone_export pop_class);
                        ibgp;
+                       rel = Device.Rel_unknown;
                      } ))
           in
           { r with Device.bgp_neighbors = nbrs }
@@ -335,6 +339,7 @@ let wan () =
                            Device.import_rm = Some (agg_import pop);
                            export_rm = None;
                            ibgp = false;
+                           rel = Device.Rel_unknown;
                          } ))
               in
               let ospf_links =
@@ -449,7 +454,7 @@ let random_network ~n ~seed =
         let export_rm = export_pool.(Random.State.int rng (Array.length export_pool)) in
         let nbrs =
           Array.to_list (Graph.succ g v)
-          |> List.map (fun u -> (u, { Device.import_rm; export_rm; ibgp = false }))
+          |> List.map (fun u -> (u, { Device.import_rm; export_rm; ibgp = false; rel = Device.Rel_unknown }))
         in
         let r = { r with Device.bgp_neighbors = nbrs } in
         if v = 0 then { r with Device.originated = [ prefix_of_index 0 ] } else r)
@@ -471,7 +476,7 @@ let random_multi_network ~n ~seed =
           else
             List.filter (fun u -> in_bgp.(u)) nbrs
             |> List.map (fun u ->
-                   (u, { Device.import_rm = None; export_rm = None; ibgp = false }))
+                   (u, { Device.import_rm = None; export_rm = None; ibgp = false; rel = Device.Rel_unknown }))
         in
         let ospf_links =
           if in_bgp.(v) then

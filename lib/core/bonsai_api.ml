@@ -120,6 +120,11 @@ let compress_ec ?universe ?rm_bdd ?pinned ?budget (net : Device.network)
       with Invalid_argument m ->
         Bonsai_error.error (Bonsai_error.Compile_error m))
 
+let role_partition ?budget (net : Device.network) (ec : Ecs.ec) =
+  match compress_ec ?budget net ec with
+  | Error _ as e -> e
+  | Ok r -> Ok (Array.copy r.abstraction.Abstraction.group_of)
+
 let identity_ec ~identity_of (ec : Ecs.ec) =
   let t0 = Timing.now () in
   let abstraction =

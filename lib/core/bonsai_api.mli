@@ -78,6 +78,17 @@ val compress_ec_exn :
     [Incr.recompress]) — it cannot be defined here because lib/incr
     depends on this library. *)
 
+val role_partition :
+  ?budget:Budget.t ->
+  Device.network ->
+  Ecs.ec ->
+  (int array, Bonsai_error.t) result
+(** The compressed role partition for one destination class: index [r]
+    is router [r]'s group id (routers sharing an id share one abstract
+    node). A thin wrapper over {!compress_ec} for consumers that only
+    need the grouping — [bonsai flow --facts] prints provenance facts per
+    role instead of per router through this. *)
+
 val compress :
   ?keep_unmatched_comms:bool ->
   ?stride:int ->

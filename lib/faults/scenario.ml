@@ -7,16 +7,28 @@ type element = Link of int * int | Node of int
 
 let norm_link (u, v) = if u <= v then (u, v) else (v, u)
 
+let link_compare (a, b) (c, d) =
+  match Int.compare a c with 0 -> Int.compare b d | r -> r
+
+let link_equal a b = link_compare a b = 0
+
 let make ?(nodes = []) links =
   {
-    down_links = List.sort_uniq compare (List.map norm_link links);
-    down_nodes = List.sort_uniq compare nodes;
+    down_links = List.sort_uniq link_compare (List.map norm_link links);
+    down_nodes = List.sort_uniq Int.compare nodes;
   }
 
 let empty = { down_links = []; down_nodes = [] }
 let size t = List.length t.down_links + List.length t.down_nodes
-let is_empty t = t.down_links = [] && t.down_nodes = []
-let compare = compare
+
+let is_empty t =
+  match (t.down_links, t.down_nodes) with [], [] -> true | _ -> false
+
+let compare a b =
+  match List.compare link_compare a.down_links b.down_links with
+  | 0 -> List.compare Int.compare a.down_nodes b.down_nodes
+  | r -> r
+
 let equal a b = compare a b = 0
 
 let elements t =
@@ -28,7 +40,7 @@ let of_elements es =
     ~nodes:(List.filter_map (function Node u -> Some u | _ -> None) es)
     (List.filter_map (function Link (u, v) -> Some (u, v) | _ -> None) es)
 
-let mem_node t u = List.mem u t.down_nodes
+let mem_node t u = List.exists (Int.equal u) t.down_nodes
 
 let apply g t =
   let b = Graph.Builder.create () in
@@ -38,8 +50,8 @@ let apply g t =
   Graph.iter_edges g (fun u v ->
       if
         not
-          (List.mem (norm_link (u, v)) t.down_links
-          || List.mem u t.down_nodes || List.mem v t.down_nodes)
+          (List.exists (link_equal (norm_link (u, v))) t.down_links
+          || mem_node t u || mem_node t v)
       then Graph.Builder.add_edge b u v);
   Graph.Builder.build b
 
@@ -47,7 +59,7 @@ let all_links g =
   let acc = ref [] in
   Graph.iter_edges g (fun u v ->
       if u < v || not (Graph.has_edge g v u) then acc := norm_link (u, v) :: !acc);
-  List.sort_uniq compare !acc
+  List.sort_uniq link_compare !acc
 
 let cut_links g =
   if not (Graph.is_connected g) then []
@@ -112,13 +124,21 @@ let sample ~k ~samples ~seed g =
   end;
   List.rev !out
 
+let element_equal a b =
+  match (a, b) with
+  | Link (u, v), Link (u', v') -> Int.equal u u' && Int.equal v v'
+  | Node u, Node u' -> Int.equal u u'
+  | (Link _ | Node _), _ -> false
+
 let shrink fails sc =
   let rec go sc =
     let es = elements sc in
     let drop_one =
       List.find_map
         (fun e ->
-          let smaller = of_elements (List.filter (fun e' -> e' <> e) es) in
+          let smaller =
+            of_elements (List.filter (fun e' -> not (element_equal e' e)) es)
+          in
           if (not (is_empty smaller)) && fails smaller then Some smaller
           else None)
         es

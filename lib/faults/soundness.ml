@@ -64,9 +64,9 @@ let check ?max_steps ?concrete_cache ?abstract_cache t ~concrete ~abstract_
 let first_break ?max_steps ?concrete_cache ?abstract_cache t ~concrete
     ~abstract_ scenarios =
   let fails sc =
-    check ?max_steps ?concrete_cache ?abstract_cache t ~concrete ~abstract_
-      sc
-    <> None
+    Option.is_some
+      (check ?max_steps ?concrete_cache ?abstract_cache t ~concrete
+         ~abstract_ sc)
   in
   List.find_opt fails scenarios
   |> Option.map (fun sc ->

@@ -261,7 +261,10 @@ let diff_router node (ra : nrouter) (rb : nrouter) =
         | Some _, None -> [ Bgp_neighbor_set { node; nbr; config = None } ]
         | Some ca, Some cb ->
           if ca = cb then []
-          else if ca.Device.ibgp = cb.Device.ibgp then
+          else if
+            ca.Device.ibgp = cb.Device.ibgp
+            && Device.relation_equal ca.Device.rel cb.Device.rel
+          then
             (if ca.Device.import_rm <> cb.Device.import_rm then
                [ Route_map_set { node; nbr; dir = Import; rm = cb.Device.import_rm } ]
              else [])

@@ -17,7 +17,8 @@ let compare_with ~tie_filter a b =
     | 0 -> (
       match Int.compare a.med b.med with
       | 0 ->
-        Stdlib.compare (List.filter tie_filter a.comms)
+        List.compare Int.compare
+          (List.filter tie_filter a.comms)
           (List.filter tie_filter b.comms)
       | c -> c)
     | c -> c)
@@ -25,14 +26,22 @@ let compare_with ~tie_filter a b =
 
 let compare a b = compare_with ~tie_filter:(fun _ -> true) a b
 
+let equal a b =
+  Int.equal a.lp b.lp && Int.equal a.med b.med
+  && List.equal Int.equal a.comms b.comms
+  && List.equal Int.equal a.path b.path
+
 let rec add_sorted x = function
   | [] -> [ x ]
   | y :: rest as l ->
     if x < y then x :: l else if x = y then l else y :: add_sorted x rest
 
 let add_comm c a = { a with comms = add_sorted c a.comms }
-let del_comm c a = { a with comms = List.filter (fun x -> x <> c) a.comms }
-let has_comm c a = List.mem c a.comms
+
+let del_comm c a =
+  { a with comms = List.filter (fun x -> not (Int.equal x c)) a.comms }
+
+let has_comm c a = List.exists (Int.equal c) a.comms
 
 type policy = attr -> attr option
 
@@ -60,8 +69,8 @@ let make ?(loop_prevention = true) ?(init = init)
         | None -> None
         | Some a ->
           let path = v :: a.path in
-          if loop_prevention && List.mem u path then None
+          if loop_prevention && List.exists (Int.equal u) path then None
           else policy u v { a with path });
-    attr_equal = ( = );
+    attr_equal = equal;
     pp_attr = pp;
   }

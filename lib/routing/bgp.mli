@@ -34,6 +34,9 @@ val compare_with : tie_filter:(int -> bool) -> attr -> attr -> int
     actually matches on, so ranking commutes with the attribute
     abstraction [h]). *)
 
+val equal : attr -> attr -> bool
+(** Typed structural equality (never polymorphic [=]). *)
+
 val add_comm : int -> attr -> attr
 val del_comm : int -> attr -> attr
 val has_comm : int -> attr -> bool

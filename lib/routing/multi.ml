@@ -1,5 +1,17 @@
 type proto = P_static | P_ospf | P_ebgp | P_ibgp
 
+let proto_equal a b =
+  match (a, b) with
+  | P_static, P_static | P_ospf, P_ospf | P_ebgp, P_ebgp | P_ibgp, P_ibgp ->
+    true
+  | (P_static | P_ospf | P_ebgp | P_ibgp), _ -> false
+
+let proto_name = function
+  | P_static -> "static"
+  | P_ospf -> "ospf"
+  | P_ebgp -> "ebgp"
+  | P_ibgp -> "ibgp"
+
 let admin_distance = function
   | P_static -> 1
   | P_ebgp -> 20
@@ -47,7 +59,23 @@ let compare_with ~tie_filter a b =
 
 let compare a b = compare_with ~tie_filter:(fun _ -> true) a b
 
+let bgp_route_equal a b =
+  Bgp.equal a.battr b.battr && Bool.equal a.via_ibgp b.via_ibgp
+
+let equal a b =
+  Bool.equal a.static_ b.static_
+  && Option.equal Ospf.equal a.ospf b.ospf
+  && Option.equal bgp_route_equal a.bgp b.bgp
+
 type redistribution = Ospf_into_bgp | Static_into_bgp | Bgp_into_ospf
+
+let redistribution_equal a b =
+  match (a, b) with
+  | Ospf_into_bgp, Ospf_into_bgp
+  | Static_into_bgp, Static_into_bgp
+  | Bgp_into_ospf, Bgp_into_ospf ->
+    true
+  | (Ospf_into_bgp | Static_into_bgp | Bgp_into_ospf), _ -> false
 
 let pp ppf a =
   let parts = ref [] in
@@ -63,11 +91,7 @@ let pp ppf a =
   if a.static_ then parts := "static" :: !parts;
   Format.fprintf ppf "{%s | sel=%s}"
     (String.concat "; " !parts)
-    (match selected a with
-    | P_static -> "static"
-    | P_ospf -> "ospf"
-    | P_ebgp -> "ebgp"
-    | P_ibgp -> "ibgp")
+    (proto_name (selected a))
 
 let make ?(ospf_cost = fun _ _ -> 1) ?(ospf_area = fun _ -> 0)
     ?(ospf_enabled = fun _ _ -> true) ?(bgp_enabled = fun _ _ -> true)
@@ -82,16 +106,15 @@ let make ?(ospf_cost = fun _ _ -> 1) ?(ospf_area = fun _ -> 0)
         invalid_arg "Multi.make: static route along a missing edge";
       Hashtbl.replace static_set (u, v) ())
     static_routes;
+  let originates p = List.exists (proto_equal p) origin_protocols in
   let init =
     {
-      static_ = List.mem P_static origin_protocols;
+      static_ = originates P_static;
       ospf =
-        (if List.mem P_ospf origin_protocols then
-           Some { Ospf.cost = 0; inter_area = false }
+        (if originates P_ospf then Some { Ospf.cost = 0; inter_area = false }
          else None);
       bgp =
-        (if List.mem P_ebgp origin_protocols then
-           Some { battr = Bgp.init; via_ibgp = false }
+        (if originates P_ebgp then Some { battr = Bgp.init; via_ibgp = false }
          else None);
     }
   in
@@ -105,7 +128,7 @@ let make ?(ospf_cost = fun _ _ -> 1) ?(ospf_area = fun _ -> 0)
       | Some o -> Some o
       | None ->
         if
-          List.mem Bgp_into_ospf (redistribute v)
+          List.exists (redistribution_equal Bgp_into_ospf) (redistribute v)
           && Option.is_some (Option.bind a (fun x -> x.bgp))
         then Some { Ospf.cost = 0; inter_area = false }
         else None
@@ -116,7 +139,9 @@ let make ?(ospf_cost = fun _ _ -> 1) ?(ospf_area = fun _ -> 0)
         Some
           {
             Ospf.cost = o.Ospf.cost + ospf_cost u v;
-            inter_area = o.Ospf.inter_area || ospf_area u <> ospf_area v;
+            inter_area =
+              o.Ospf.inter_area
+              || not (Int.equal (ospf_area u) (ospf_area v));
           }
       | _ -> None
     in
@@ -131,8 +156,9 @@ let make ?(ospf_cost = fun _ _ -> 1) ?(ospf_area = fun _ -> 0)
         let have_ospf = Option.is_some ospf_raw in
         let have_static = match a with Some x -> x.static_ | None -> false in
         if
-          (List.mem Ospf_into_bgp rs && have_ospf)
-          || (List.mem Static_into_bgp rs && have_static)
+          (List.exists (redistribution_equal Ospf_into_bgp) rs && have_ospf)
+          || List.exists (redistribution_equal Static_into_bgp) rs
+             && have_static
         then Some { battr = Bgp.init; via_ibgp = false }
         else None
     in
@@ -147,7 +173,7 @@ let make ?(ospf_cost = fun _ _ -> 1) ?(ospf_area = fun _ -> 0)
               (bgp_policy u v b.battr)
         else
           let path = v :: b.battr.Bgp.path in
-          if List.mem u path then None
+          if List.exists (Int.equal u) path then None
           else
             Option.map
               (fun battr -> { battr; via_ibgp = false })
@@ -164,6 +190,6 @@ let make ?(ospf_cost = fun _ _ -> 1) ?(ospf_area = fun _ -> 0)
     init;
     compare = compare_with ~tie_filter:bgp_tie_filter;
     trans;
-    attr_equal = ( = );
+    attr_equal = equal;
     pp_attr = pp;
   }

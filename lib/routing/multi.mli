@@ -14,6 +14,11 @@
 
 type proto = P_static | P_ospf | P_ebgp | P_ibgp
 
+val proto_equal : proto -> proto -> bool
+
+val proto_name : proto -> string
+(** ["static"], ["ospf"], ["ebgp"], ["ibgp"] (for reporting). *)
+
 val admin_distance : proto -> int
 (** Static 1, eBGP 20, OSPF 110, iBGP 200 (Cisco-style defaults). *)
 
@@ -35,7 +40,12 @@ val compare : attr -> attr -> int
 val compare_with : tie_filter:(int -> bool) -> attr -> attr -> int
 (** Community tie-break restricted as in {!Bgp.compare_with}. *)
 
+val equal : attr -> attr -> bool
+(** Typed structural equality (never polymorphic [=]). *)
+
 type redistribution = Ospf_into_bgp | Static_into_bgp | Bgp_into_ospf
+
+val redistribution_equal : redistribution -> redistribution -> bool
 
 val make :
   ?ospf_cost:(int -> int -> int) ->

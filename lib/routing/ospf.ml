@@ -5,6 +5,9 @@ let compare a b =
   | 0 -> Int.compare a.cost b.cost
   | c -> c
 
+let equal a b =
+  Int.equal a.cost b.cost && Bool.equal a.inter_area b.inter_area
+
 let pp ppf a =
   Format.fprintf ppf "%d%s" a.cost (if a.inter_area then "(inter)" else "")
 
@@ -24,8 +27,8 @@ let make ?(cost = fun _ _ -> 1) ?(area = fun _ -> 0) graph ~dest =
           Some
             {
               cost = a.cost + c;
-              inter_area = a.inter_area || area u <> area v;
+              inter_area = a.inter_area || not (Int.equal (area u) (area v));
             });
-    attr_equal = ( = );
+    attr_equal = equal;
     pp_attr = pp;
   }

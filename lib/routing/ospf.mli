@@ -7,6 +7,9 @@ type attr = { cost : int; inter_area : bool }
 
 val compare : attr -> attr -> int
 
+val equal : attr -> attr -> bool
+(** Typed structural equality (never polymorphic [=]). *)
+
 val make :
   ?cost:(int -> int -> int) ->
   ?area:(int -> int) ->

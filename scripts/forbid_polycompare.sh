@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Fail if polymorphic comparison spellings reappear in directories that
+# were swept to typed equality (lib/bdd, lib/routing, lib/faults).
+# Attached to @runtest via the @forbid-polycompare alias in the root dune.
+set -u
+
+bad=0
+for f in lib/bdd/*.ml lib/routing/*.ml lib/faults/*.ml; do
+  [ -e "$f" ] || continue
+  if grep -nE 'Stdlib\.compare|Pervasives\.compare|let compare = compare\b|attr_equal = \( = \)' "$f"; then
+    echo "forbid-polycompare: polymorphic compare in $f (use typed equality)" >&2
+    bad=1
+  fi
+done
+exit $bad

@@ -112,7 +112,7 @@ let test_validate_catches_bad_neighbor () =
     {
       (routers.(0)) with
       Device.bgp_neighbors =
-        [ (2, { Device.import_rm = None; export_rm = None; ibgp = false }) ];
+        [ (2, { Device.import_rm = None; export_rm = None; ibgp = false; rel = Device.Rel_unknown }) ];
     };
   match Device.validate { Device.graph = g; routers } with
   | Error _ -> ()
@@ -134,7 +134,7 @@ let mini_net_with rm =
   (* a 2-node network whose single import route-map is [rm]; used to build
      a universe covering the map *)
   let g = Graph.of_links ~n:2 [ (0, 1) ] in
-  let nb rm = { Device.import_rm = rm; export_rm = None; ibgp = false } in
+  let nb rm = { Device.import_rm = rm; export_rm = None; ibgp = false; rel = Device.Rel_unknown } in
   let routers =
     [|
       { (Device.default_router "a") with Device.bgp_neighbors = [ (1, nb (Some rm)) ] };
@@ -259,7 +259,7 @@ let prop_bdd_equal_iff_same_behavior =
     (QCheck.pair gen_route_map gen_route_map) (fun (rm1, rm2) ->
       (* build one universe covering both maps *)
       let g = Graph.of_links ~n:2 [ (0, 1) ] in
-      let nb rm = { Device.import_rm = Some rm; export_rm = None; ibgp = false } in
+      let nb rm = { Device.import_rm = Some rm; export_rm = None; ibgp = false; rel = Device.Rel_unknown } in
       let routers =
         [|
           { (Device.default_router "a") with Device.bgp_neighbors = [ (1, nb rm1) ] };
@@ -418,7 +418,7 @@ let test_matched_comms () =
 
 let test_bgp_policy_acl_denies () =
   let g = Graph.of_links ~n:2 [ (0, 1) ] in
-  let nb = { Device.import_rm = None; export_rm = None; ibgp = false } in
+  let nb = { Device.import_rm = None; export_rm = None; ibgp = false; rel = Device.Rel_unknown } in
   let deny : Acl.t = [ { permit = false; prefix = Prefix.of_string "10.0.0.0/8" } ] in
   let routers =
     [|

@@ -143,7 +143,7 @@ let gadget_net () =
                      let import_rm =
                        if v >= 1 && v <= 3 && u = 4 then Some prefer_a else None
                      in
-                     (u, { Device.import_rm; export_rm = None; ibgp = false }));
+                     (u, { Device.import_rm; export_rm = None; ibgp = false; rel = Device.Rel_unknown }));
           }
         in
         if v = 0 then
@@ -269,7 +269,7 @@ let three_level_gadget () =
                        else if v >= 1 && v <= 3 && u = 5 then Some (pref 300)
                        else None
                      in
-                     (u, { Device.import_rm; export_rm = None; ibgp = false }));
+                     (u, { Device.import_rm; export_rm = None; ibgp = false; rel = Device.Rel_unknown }));
           }
         in
         if v = 0 then
@@ -316,7 +316,13 @@ let test_ibgp_pair_merges () =
               Array.to_list (Graph.succ g v)
               |> List.map (fun u ->
                      let ibgp = (v = 1 && u = 2) || (v = 2 && u = 1) in
-                     (u, { Device.import_rm = None; export_rm = None; ibgp }));
+                     ( u,
+                       {
+                         Device.import_rm = None;
+                         export_rm = None;
+                         ibgp;
+                         rel = Device.Rel_unknown;
+                       } ));
           }
         in
         if v = 0 then
