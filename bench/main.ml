@@ -579,6 +579,130 @@ let incr_bench ?(k = 8) ?(n_deltas = 10) ~json_path ~assert_speedup () =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Resident engine (bonsai serve)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* In-process: drives Serve_engine.handle_line directly, so the numbers
+   are the engine's own (dispatch + compression + response rendering),
+   without socket noise. The CI soak (scripts/serve_soak.sh) covers the
+   transport. *)
+
+let serve_resolve spec =
+  match String.split_on_char ':' spec with
+  | [ "fattree"; k ] -> (
+    match int_of_string_opt k with
+    | Some k -> Synthesis.fattree_shortest_path (Generators.fattree ~k)
+    | None -> fail "serve bench: bad spec %s" spec)
+  | [ "ring"; n ] -> (
+    match int_of_string_opt n with
+    | Some n -> Synthesis.ring_bgp ~n
+    | None -> fail "serve bench: bad spec %s" spec)
+  | [ "wan" ] -> (Synthesis.wan ()).Synthesis.net
+  | _ -> fail "serve bench: unknown spec %s" spec
+
+let serve_req eng line =
+  let resp, _ = Serve_engine.handle_line eng ~queue_depth:0 line in
+  (match Json.parse resp with
+  | Ok j -> (
+    match Json.member "ok" j with
+    | Some (Json.Bool true) -> ()
+    | _ -> fail "serve bench: request failed: %s" resp)
+  | Error e -> fail "serve bench: unparsable response %s: %s" resp e);
+  resp
+
+let serve_latency ~fixture =
+  (* cold: first compress on a fresh engine (resolve + init + compress);
+     warm: the same request against the now-resident state; restored:
+     the same request after a checkpoint/restore round-trip into a
+     second engine — what a restarted server pays. *)
+  let line = Printf.sprintf "{\"op\":\"compress\",\"network\":\"%s\"}" fixture in
+  let eng = Serve_engine.create ~resolve:serve_resolve () in
+  let cold_resp = ref "" in
+  let (), t_cold = Timing.time (fun () -> cold_resp := serve_req eng line) in
+  let (), t_warm = Timing.time (fun () -> ignore (serve_req eng line : string)) in
+  let ckpt = Filename.temp_file "bonsai-bench" ".ckpt" in
+  let saved =
+    match Serve_engine.checkpoint eng ~path:ckpt with
+    | Ok n -> n
+    | Error e -> fail "serve bench: checkpoint: %s" e
+  in
+  let eng' = Serve_engine.create ~resolve:serve_resolve () in
+  (match Serve_engine.restore eng' ~path:ckpt with
+  | `Restored n when n = saved -> ()
+  | `Restored n -> fail "serve bench: restored %d of %d networks" n saved
+  | `Cold reason -> fail "serve bench: cold restore: %s" reason
+  | `Missing -> fail "serve bench: checkpoint vanished");
+  let restored_resp = ref "" in
+  let (), t_restored =
+    Timing.time (fun () -> restored_resp := serve_req eng' line)
+  in
+  Sys.remove ckpt;
+  if not (String.equal !cold_resp !restored_resp) then
+    fail "serve bench: warm-restored response differs from cold on %s" fixture;
+  Printf.printf "%-12s cold %8.3fs   warm %8.4fs   restored %8.4fs (%.0fx)\n%!"
+    fixture t_cold t_warm t_restored (t_cold /. max 1e-9 t_restored);
+  (t_cold, t_warm, t_restored)
+
+let serve_bench ?(k = 6) ?(n_requests = 200) ~json_path () =
+  hr "Resident engine (bonsai serve)";
+  let fixture = Printf.sprintf "fattree:%d" k in
+  let eng = Serve_engine.create ~resolve:serve_resolve () in
+  let (), t_load =
+    Timing.time (fun () ->
+        ignore
+          (serve_req eng
+             (Printf.sprintf "{\"op\":\"load\",\"network\":\"%s\"}" fixture)
+            : string))
+  in
+  Printf.printf "%s: cold load %.3fs\n%!" fixture t_load;
+  (* a deterministic mixed stream against the warm network: the request
+     shapes a monitoring client actually sends *)
+  let stream =
+    [
+      Printf.sprintf "{\"op\":\"compress\",\"network\":\"%s\"}" fixture;
+      Printf.sprintf
+        "{\"op\":\"compress\",\"network\":\"%s\",\"ec\":\"10.0.0.0/24\"}"
+        fixture;
+      Printf.sprintf "{\"op\":\"lint\",\"network\":\"%s\"}" fixture;
+      Printf.sprintf "{\"op\":\"flow\",\"network\":\"%s\"}" fixture;
+      "{\"op\":\"health\"}";
+      "{\"op\":\"stats\"}";
+    ]
+  in
+  let (), t_stream =
+    Timing.time (fun () ->
+        for i = 0 to n_requests - 1 do
+          ignore
+            (serve_req eng (List.nth stream (i mod List.length stream))
+              : string)
+        done)
+  in
+  let rps = float_of_int n_requests /. max 1e-9 t_stream in
+  Printf.printf "%d mixed requests in %.3fs: %.0f requests/s\n%!" n_requests
+    t_stream rps;
+  let ft_cold, ft_warm, ft_restored = serve_latency ~fixture in
+  let wan_cold, wan_warm, wan_restored = serve_latency ~fixture:"wan" in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"stream\": {\"fixture\": \"%s\", \"requests\": %d, \"total_s\": \
+       %.6f, \"requests_per_s\": %.1f, \"cold_load_s\": %.6f},\n\
+      \  \"latency\": [\n\
+      \    {\"fixture\": \"%s\", \"cold_s\": %.6f, \"warm_s\": %.6f, \
+       \"warm_restored_s\": %.6f},\n\
+      \    {\"fixture\": \"wan\", \"cold_s\": %.6f, \"warm_s\": %.6f, \
+       \"warm_restored_s\": %.6f}\n\
+      \  ]\n\
+       }\n"
+      fixture n_requests t_stream rps t_load fixture ft_cold ft_warm
+      ft_restored wan_cold wan_warm wan_restored
+  in
+  let oc = open_out json_path in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core kernels                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -664,7 +788,7 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench/main.exe \
-       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|incr|micro|all] \
+       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|incr|serve|micro|all] \
        [--timeout SECONDS] [--samples N] [--k K] [--deltas N] [--json FILE] \
        [--assert-speedup MIN]";
     exit 2
@@ -723,6 +847,15 @@ let () =
       | "incr" ->
         incr_bench ~k:!k ~n_deltas:!n_deltas ~json_path:!json_path
           ~assert_speedup:!assert_speedup ()
+      | "serve" ->
+        (* --json is shared with incr; redirect its default here *)
+        let json_path =
+          if String.equal !json_path "BENCH_incr.json" then "BENCH_serve.json"
+          else !json_path
+        in
+        serve_bench
+          ~k:(if !k = 8 then 6 else !k)
+          ?n_requests:!samples ~json_path ()
       | "micro" -> micro ()
       | "all" -> all ~timeout_s:!timeout_s ()
       | _ -> usage ())

@@ -511,15 +511,50 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
     | _ -> 0
   else begin
     let last = ref text0 in
+    (* Consecutive read/parse failures back off exponentially (capped):
+       a file that stays broken — deleted, permission flip, an editor
+       that crashed mid-save — must not make the watcher spin at the
+       poll rate forever. Any successfully parsed snapshot resets the
+       backoff. *)
+    let failures = ref 0 in
+    let max_backoff_ms = 30_000 in
+    let sleep_ms () =
+      if !failures = 0 then poll_ms
+      else min max_backoff_ms (poll_ms * (1 lsl min !failures 16))
+    in
+    let note_failure () =
+      incr failures;
+      if sleep_ms () > poll_ms then
+        Printf.eprintf "watch: backing off to %dms after %d failure%s\n%!"
+          (sleep_ms ()) !failures
+          (if !failures = 1 then "" else "s")
+    in
     let rec loop () =
-      Unix.sleepf (float_of_int poll_ms /. 1000.0);
+      Unix.sleepf (float_of_int (sleep_ms ()) /. 1000.0);
       (match read () with
       | Error ds ->
-        List.iter (fun (_, m) -> Printf.eprintf "watch: %s\n%!" m) ds
+        List.iter (fun (_, m) -> Printf.eprintf "watch: %s\n%!" m) ds;
+        note_failure ()
       | Ok text when String.equal text !last -> ()
       | Ok text -> (
+        (* A change seen mid-write (truncate + write, rsync) shows up as
+           an empty or unparsable snapshot; one quick re-read usually
+           sees the completed write. Only after the retry do we report
+           and keep the previous network. *)
+        let text, parsed =
+          match Config_text.parse_full text with
+          | Ok v -> (text, Ok v)
+          | Error ds0 -> (
+            Unix.sleepf 0.05;
+            match read () with
+            | Ok text' when not (String.equal text' text) -> (
+              match Config_text.parse_full text' with
+              | Ok v -> (text', Ok v)
+              | Error ds -> (text', Error ds))
+            | Ok _ | Error _ -> (text, Error ds0))
+        in
         last := text;
-        match Config_text.parse_full text with
+        match parsed with
         | Error ds ->
           (* keep serving the previous network; the next edit gets another
              chance *)
@@ -530,8 +565,10 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
             (if List.length ds = 1 then "" else "s");
           List.iter
             (fun (line, m) -> Printf.eprintf "  line %d: %s\n%!" line m)
-            ds
+            ds;
+          note_failure ()
         | Ok (net', _) -> (
+          failures := 0;
           match
             Incr.recompress_net ~budget:(make_budget budget_ms budget_ticks)
               st net'
@@ -1120,6 +1157,131 @@ let export_cmd_run spec path format =
   Format.printf "wrote %s@." path;
   0
 
+(* --- serve ------------------------------------------------------------- *)
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | None -> raise (Usage (Printf.sprintf "expected HOST:PORT, got %S" s))
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let host = if host = "" then "127.0.0.1" else host in
+    match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+    | Some port -> (host, port)
+    | None -> raise (Usage (Printf.sprintf "invalid port in %S" s)))
+
+let serve_cmd_run stdio socket tcp max_inflight budget_ms budget_ticks
+    cache_cap max_networks checkpoint_path checkpoint_every drain_ms preload =
+  guarded @@ fun () ->
+  let listen =
+    match (stdio, socket, tcp) with
+    | true, None, None -> Serve_loop.Stdio
+    | false, Some path, None -> Serve_loop.Unix_socket path
+    | false, None, Some hp ->
+      let host, port = parse_host_port hp in
+      Serve_loop.Tcp (host, port)
+    | false, None, None ->
+      raise (Usage "one of --stdio, --socket PATH or --tcp HOST:PORT is required")
+    | _ -> raise (Usage "--stdio, --socket and --tcp are mutually exclusive")
+  in
+  (* [resolve_network]'s Usage (unknown spec) becomes a Failure so the
+     engine answers it as a bad-request instead of killing the server *)
+  let resolve spec = try resolve_network spec with Usage m -> failwith m in
+  let engine =
+    Serve_engine.create ~resolve ?budget_ms ?budget_ticks ?cache_cap
+      ~max_networks ()
+  in
+  Serve_loop.run ~engine ~listen ~max_inflight ~drain_ms ?checkpoint_path
+    ~checkpoint_every ~preload ()
+
+(* --- request ----------------------------------------------------------- *)
+
+(* One-shot client for a running serve instance: build the request line
+   (or take it raw), send it, print the one response line, exit with the
+   code the equivalent one-shot command would have used. *)
+let request_cmd_run socket tcp op network ec to_spec k rounds samples seed
+    budget_ms budget_ticks raw =
+  guarded @@ fun () ->
+  let line =
+    match raw with
+    | Some r -> r
+    | None ->
+      let op =
+        match op with
+        | Some op -> op
+        | None -> raise (Usage "an OP argument is required (or --raw)")
+      in
+      let str key v =
+        match v with None -> [] | Some s -> [ (key, Json.String s) ]
+      in
+      let int key v =
+        match v with None -> [] | Some i -> [ (key, Json.Int i) ]
+      in
+      Json.to_string
+        (Json.Obj
+           (("op", Json.String op)
+           :: (str "network" network @ str "ec" ec @ str "to" to_spec
+             @ int "k" k @ int "rounds" rounds @ int "samples" samples
+             @ int "seed" seed @ int "budget_ms" budget_ms
+             @ int "budget_ticks" budget_ticks)))
+  in
+  let addr =
+    match (socket, tcp) with
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, Some hp ->
+      let host, port = parse_host_port hp in
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> raise (Usage (Printf.sprintf "unknown host %S" host))
+      in
+      Unix.ADDR_INET (inet, port)
+    | _ -> raise (Usage "exactly one of --socket or --tcp is required")
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect fd addr with
+      | () -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.kasprintf failwith "cannot connect: %s" (Unix.error_message e));
+      let payload = Bytes.of_string (line ^ "\n") in
+      let len = Bytes.length payload in
+      let rec send off =
+        if off < len then send (off + Unix.write fd payload off (len - off))
+      in
+      send 0;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec recv () =
+        if not (String.contains (Buffer.contents buf) '\n') then
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            recv ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+      in
+      recv ();
+      let resp =
+        match String.index_opt (Buffer.contents buf) '\n' with
+        | Some i -> String.sub (Buffer.contents buf) 0 i
+        | None -> Buffer.contents buf
+      in
+      if String.length resp = 0 then
+        failwith "connection closed without a response";
+      print_endline resp;
+      match Json.parse resp with
+      | Ok r
+        when (match Json.member "ok" r with
+             | Some v -> Json.equal v (Json.Bool true)
+             | None -> false) ->
+        0
+      | Ok r -> (
+        match Option.bind (Json.member "error" r) (Json.member "class") with
+        | Some (Json.String cls) -> Protocol.exit_code_of_class cls
+        | _ -> Bonsai_error.exit_code (Bonsai_error.Internal ""))
+      | Error _ -> Bonsai_error.exit_code (Bonsai_error.Internal ""))
+
 (* --- roles -------------------------------------------------------------- *)
 
 let roles_cmd_run spec =
@@ -1568,10 +1730,170 @@ let export_cmd =
     (cmd_info "export" ~doc:"Write a network as a configuration file")
     Term.(const export_cmd_run $ network_arg $ path $ format)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"TCP endpoint.")
+
+let serve_cmd =
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Speak the protocol on stdin/stdout instead of a socket \
+             (deterministic; used by the golden tests).")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 16
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: requests beyond N in flight receive a \
+             typed $(i,overloaded) response with a retry hint instead of \
+             queueing without bound.")
+  in
+  let cache_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:
+            "Bound each network's policy-signature cache to N entries \
+             (LRU; default unbounded).")
+  in
+  let max_networks =
+    Arg.(
+      value & opt int 8
+      & info [ "max-networks" ] ~docv:"N"
+          ~doc:"Bound the warm-network registry (LRU; default 8).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Persist warm state (compressed classes + signature caches) \
+             here: written atomically on shutdown and every \
+             $(b,--checkpoint-every) requests, restored on startup. A \
+             corrupt or version-skewed checkpoint logs a warning and \
+             serves cold.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Also checkpoint every N processed requests (0: only at \
+                shutdown).")
+  in
+  let drain_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "Graceful-shutdown deadline: queued requests get this much \
+             wall-clock to finish before being answered with \
+             overloaded(\"server draining\").")
+  in
+  let preload =
+    Arg.(
+      value & opt_all string []
+      & info [ "preload" ] ~docv:"NETWORK"
+          ~doc:"Load (compress) this network before serving; repeatable.")
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:
+         "Run the resident engine: NDJSON requests (compress, lint, flow, \
+          diff, faults, harden, load, unload, health, stats, shutdown) \
+          over a unix/TCP socket or stdio, against a registry of warm \
+          networks. Every request runs under its own budget clamped by the \
+          server-wide $(b,--budget-ms)/$(b,--budget-ticks); overload sheds \
+          with a typed response; SIGTERM/SIGINT drain in-flight work and \
+          checkpoint warm state.")
+    Term.(
+      const serve_cmd_run $ stdio $ socket_arg $ tcp_arg $ max_inflight
+      $ budget_ms_arg $ budget_ticks_arg $ cache_cap $ max_networks
+      $ checkpoint $ checkpoint_every $ drain_ms $ preload)
+
+let request_cmd =
+  let op =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:"Operation (compress|lint|flow|diff|faults|harden|load|\
+                unload|health|stats|shutdown).")
+  in
+  let network =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "network" ] ~docv:"NETWORK" ~doc:"Network spec parameter.")
+  in
+  let ec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ec" ] ~docv:"PREFIX" ~doc:"Destination class prefix.")
+  in
+  let to_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "to" ] ~docv:"NETWORK" ~doc:"Target network for diff.")
+  in
+  let k =
+    Arg.(
+      value & opt (some int) None
+      & info [ "k" ] ~docv:"K" ~doc:"Failure bound for faults/harden.")
+  in
+  let rounds =
+    Arg.(
+      value & opt (some int) None
+      & info [ "rounds" ] ~docv:"N" ~doc:"Repair rounds for harden.")
+  in
+  let samples =
+    Arg.(
+      value & opt (some int) None
+      & info [ "samples" ] ~docv:"N" ~doc:"Scenario samples.")
+  in
+  let seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Sampling seed.")
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"JSON"
+          ~doc:"Send this exact JSON line instead of building one.")
+  in
+  Cmd.v
+    (cmd_info "request"
+       ~doc:
+         "Send one request to a running $(b,bonsai serve) and print the \
+          response line. Exits with the same code the equivalent one-shot \
+          command would have used (plus 11 when the server shed the \
+          request as overloaded).")
+    Term.(
+      const request_cmd_run $ socket_arg $ tcp_arg $ op $ network $ ec
+      $ to_spec $ k $ rounds $ samples $ seed $ budget_ms_arg
+      $ budget_ticks_arg $ raw)
+
 let () =
   let doc = "Bonsai: control plane compression (SIGCOMM 2018 reproduction)" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc ~exits)
-          [ info_cmd; compress_cmd; diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd ]))
+          [ info_cmd; compress_cmd; diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd; serve_cmd; request_cmd ]))

@@ -20,7 +20,9 @@ type t = {
    on every tick. *)
 let clock_stride_mask = 0xF
 
-let now = Unix.gettimeofday
+(* The centralized never-backwards clock: a backwards NTP step must not
+   produce negative elapsed times or a deadline that can never fire. *)
+let now = Timing.monotonic_now
 
 let infinite =
   { ticks = 0; max_ticks = max_int; start = 0.0; deadline = infinity;
@@ -41,7 +43,10 @@ let is_infinite b = b == infinite
 let cancel b = if not (is_infinite b) then b.cancelled <- true
 let cancelled b = b.cancelled
 let ticks b = b.ticks
-let elapsed_s b = if is_infinite b then 0.0 else now () -. b.start
+(* [max 0.0]: a restored-from-checkpoint or hand-built budget may carry a
+   start in the future of the clamped clock; elapsed degrades to zero,
+   never negative. *)
+let elapsed_s b = if is_infinite b then 0.0 else max 0.0 (now () -. b.start)
 
 let info b ~phase ?note () =
   { phase; ticks = b.ticks; elapsed_s = elapsed_s b; note }
@@ -68,6 +73,18 @@ let tick b ~phase =
       || (b.ticks land clock_stride_mask = 0 && over_deadline b)
     then fail b phase
   end
+
+let scoped ?deadline_s ?max_ticks ?cap_deadline_s ?cap_max_ticks () =
+  let min_opt a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+  in
+  match
+    (min_opt deadline_s cap_deadline_s, min_opt max_ticks cap_max_ticks)
+  with
+  | None, None -> infinite
+  | deadline_s, max_ticks -> create ?deadline_s ?max_ticks ()
 
 let exhausted b =
   (not (is_infinite b))

@@ -44,6 +44,19 @@ val create : ?deadline_s:float -> ?max_ticks:int -> unit -> t
     work ticks. Omitted limits are unbounded (but the budget can still be
     {!cancel}led). *)
 
+val scoped :
+  ?deadline_s:float ->
+  ?max_ticks:int ->
+  ?cap_deadline_s:float ->
+  ?cap_max_ticks:int ->
+  unit ->
+  t
+(** Request-scoped budget for a resident engine: each limit is the
+    minimum of the caller-requested value and the server-wide cap; an
+    omitted request inherits the cap and an omitted cap leaves the
+    request unclamped. With no limit from either side this is
+    {!infinite}. *)
+
 val is_infinite : t -> bool
 
 val cancel : t -> unit

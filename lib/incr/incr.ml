@@ -6,6 +6,7 @@ type state = {
   mutable bdd_time_s : float;
   mutable degradation : Bonsai_api.degradation option;
   pinned_names : string list;
+  cache_cap : int option;
 }
 
 type report = {
@@ -251,12 +252,15 @@ let unchanged_ec ~old_net ~new_net ~cache ~touched (ec : Ecs.ec)
 
 (* ------------------------------------------------------------------ *)
 
-let init ?(pinned = []) ?(budget = Budget.infinite) (net : Device.network) =
+let init ?(pinned = []) ?cache_cap ?(budget = Budget.infinite)
+    (net : Device.network) =
   Bonsai_error.protect @@ fun () ->
   (match Device.validate net with
   | Ok () -> ()
   | Error m -> Bonsai_error.error (Bonsai_error.Compile_error m));
-  let cache, bdd_time_s = Timing.time (fun () -> Sig_cache.create net) in
+  let cache, bdd_time_s =
+    Timing.time (fun () -> Sig_cache.create ?max_entries:cache_cap net)
+  in
   let n = Graph.n_nodes net.Device.graph in
   let pinned_names =
     List.filter_map
@@ -281,6 +285,7 @@ let init ?(pinned = []) ?(budget = Budget.infinite) (net : Device.network) =
     bdd_time_s;
     degradation;
     pinned_names;
+    cache_cap;
   }
 
 let recompress ?(budget = Budget.infinite) st deltas =
@@ -301,7 +306,10 @@ let recompress ?(budget = Budget.infinite) st deltas =
   let cache, bdd_time_s =
     if compatible then (st.cache, st.bdd_time_s)
     else
-      let c, t = Timing.time (fun () -> Sig_cache.create net') in
+      let c, t =
+        Timing.time (fun () ->
+            Sig_cache.create ?max_entries:st.cache_cap net')
+      in
       (c, t)
   in
   let hits0, misses0 = Sig_cache.stats cache in
@@ -388,7 +396,23 @@ let summary st =
   }
 
 let cache_stats st = Sig_cache.stats st.cache
+let cache_evictions st = Sig_cache.evictions st.cache
 let bdd_stats st = Sig_cache.bdd_stats st.cache
+
+(* A state read back from a checkpoint (Marshal) carries copies of
+   whatever [Budget.t] values were installed in its BDD managers; a copy
+   of [Budget.infinite] is no longer physically equal to it, so the
+   managers would pay per-tick bookkeeping forever (and report nonsense
+   elapsed times from a dead process's start stamp). Re-install the real
+   shared [infinite] everywhere. *)
+let rearm st =
+  Bdd.set_budget (Sig_cache.universe st.cache).Policy_bdd.man Budget.infinite;
+  List.iter
+    (fun (r : Bonsai_api.ec_result) ->
+      Bdd.set_budget
+        r.Bonsai_api.abstraction.Abstraction.universe.Policy_bdd.man
+        Budget.infinite)
+    st.results
 
 let pp_report ppf r =
   Format.fprintf ppf

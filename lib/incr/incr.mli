@@ -52,12 +52,16 @@ type report = {
 
 val init :
   ?pinned:int list ->
+  ?cache_cap:int ->
   ?budget:Budget.t ->
   Device.network ->
   (state, Bonsai_error.t) result
 (** Compress from scratch and set up the cache. [pinned] node ids (of this
     network) are remembered by name and enforced on every later
-    recompression. *)
+    recompression. [cache_cap] bounds the signature cache
+    ({!Sig_cache.create}'s [max_entries]), including after full rebuilds;
+    a resident engine passes it so the shared BDD root set stays bounded
+    across thousands of recompressions. *)
 
 val recompress :
   ?budget:Budget.t ->
@@ -86,6 +90,16 @@ val summary : state -> Bonsai_api.summary
 
 val cache_stats : state -> int * int
 (** Cumulative (hits, misses) of the policy-signature cache. *)
+
+val cache_evictions : state -> int
+(** Entries evicted by the [cache_cap] so far. *)
+
+val rearm : state -> unit
+(** Reset every transient resource handle after the state was read back
+    from a checkpoint (Marshal): re-installs the shared
+    [Budget.infinite] in each BDD manager, whose marshaled copy lost the
+    physical identity the fast-path check relies on. Call exactly once on
+    a freshly unmarshaled state; a no-op on states built by {!init}. *)
 
 val bdd_stats : state -> Bdd.stats
 val pp_report : Format.formatter -> report -> unit

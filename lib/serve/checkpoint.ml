@@ -1,0 +1,107 @@
+(* Crash-safe warm-state checkpoints.
+
+   Format: one ASCII header line, then a Marshal payload.
+
+     bonsai-checkpoint <format-version> <build-digest> <payload-md5> <len>\n
+     <len bytes of Marshal data>
+
+   Three independent guards, each degrading to a cold rebuild rather
+   than a crash:
+
+   - the payload MD5 and length catch torn/truncated/corrupted files
+     (a kill -9 mid-write leaves only the temp file — the real path
+     always holds a complete previous checkpoint, because publication is
+     write-temp + atomic rename within the same directory);
+   - the build digest (MD5 of the running executable) catches version
+     skew: Marshal blobs are only meaningful to the binary that wrote
+     them — unmarshaling foreign data can segfault, so a digest mismatch
+     refuses to read the payload at all;
+   - Marshal itself is wrapped, so even a payload that passes both
+     checks (e.g. hand-crafted) cannot escape as an exception. *)
+
+let format_version = 1
+
+let magic = "bonsai-checkpoint"
+
+type load_error =
+  | Missing
+  | Version_skew of string
+  | Corrupt of string
+
+let pp_load_error ppf = function
+  | Missing -> Format.fprintf ppf "no checkpoint file"
+  | Version_skew m -> Format.fprintf ppf "version skew: %s" m
+  | Corrupt m -> Format.fprintf ppf "corrupt checkpoint: %s" m
+
+let build_digest =
+  lazy
+    (Digest.to_hex
+       (try Digest.file Sys.executable_name
+        with Sys_error _ -> Digest.string Sys.executable_name))
+
+let save ~path v =
+  match Marshal.to_string v [] with
+  | exception e ->
+    Error ("cannot serialize state: " ^ Printexc.to_string e)
+  | payload -> (
+    let header =
+      Printf.sprintf "%s %d %s %s %d\n" magic format_version
+        (Lazy.force build_digest)
+        (Digest.to_hex (Digest.string payload))
+        (String.length payload)
+    in
+    let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+    try
+      Out_channel.with_open_bin tmp (fun oc ->
+          Out_channel.output_string oc header;
+          Out_channel.output_string oc payload);
+      Sys.rename tmp path;
+      Ok ()
+    with Sys_error m | Unix.Unix_error (_, m, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error m)
+
+let load ~path =
+  if not (Sys.file_exists path) then Error Missing
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error m -> Error (Corrupt m)
+    | raw -> (
+      match String.index_opt raw '\n' with
+      | None -> Error (Corrupt "missing header line")
+      | Some nl -> (
+        let header = String.sub raw 0 nl in
+        let payload_start = nl + 1 in
+        match String.split_on_char ' ' header with
+        | [ m; version; digest; md5; len ] when String.equal m magic -> (
+          match (int_of_string_opt version, int_of_string_opt len) with
+          | Some v, _ when v <> format_version ->
+            Error
+              (Version_skew
+                 (Printf.sprintf "checkpoint format %s, expected %d" version
+                    format_version))
+          | _, None | None, _ -> Error (Corrupt "unreadable header fields")
+          | Some _, Some len ->
+            if not (String.equal digest (Lazy.force build_digest)) then
+              Error
+                (Version_skew
+                   "written by a different build of this executable")
+            else if String.length raw - payload_start <> len then
+              Error
+                (Corrupt
+                   (Printf.sprintf "payload is %d bytes, header says %d"
+                      (String.length raw - payload_start)
+                      len))
+            else
+              let payload = String.sub raw payload_start len in
+              if
+                not
+                  (String.equal md5
+                     (Digest.to_hex (Digest.string payload)))
+              then Error (Corrupt "payload checksum mismatch")
+              else (
+                match Marshal.from_string payload 0 with
+                | v -> Ok v
+                | exception e ->
+                  Error (Corrupt ("unmarshal: " ^ Printexc.to_string e))))
+        | _ -> Error (Corrupt "unrecognized header")))

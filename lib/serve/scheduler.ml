@@ -1,0 +1,39 @@
+(* Bounded FIFO admission queue. The engine is sequential (one BDD
+   manager, one solver — request isolation comes from per-request
+   budgets, not threads), so "inflight" means "admitted but not yet
+   answered": the request being processed plus the queue behind it. A
+   submit beyond the cap is shed immediately with a retry hint — the
+   server never buffers unboundedly and never crashes under load. *)
+
+type 'a t = {
+  queue : 'a Queue.t;
+  max_inflight : int;
+  mutable n_admitted : int;
+  mutable n_shed : int;
+}
+
+(* Deterministic back-off hint: we do not measure service time (that
+   would make shed responses nondeterministic and ungoldenable); clients
+   treat it as an order of magnitude, not a promise. *)
+let per_request_hint_ms = 100
+
+let create ~max_inflight =
+  if max_inflight < 1 then invalid_arg "Scheduler.create: max_inflight < 1";
+  { queue = Queue.create (); max_inflight; n_admitted = 0; n_shed = 0 }
+
+let depth t = Queue.length t.queue
+
+let submit t x =
+  if Queue.length t.queue >= t.max_inflight then begin
+    t.n_shed <- t.n_shed + 1;
+    `Shed (t.max_inflight * per_request_hint_ms)
+  end
+  else begin
+    Queue.add x t.queue;
+    t.n_admitted <- t.n_admitted + 1;
+    `Admitted
+  end
+
+let take t = Queue.take_opt t.queue
+let admitted t = t.n_admitted
+let shed t = t.n_shed

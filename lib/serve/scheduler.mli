@@ -1,0 +1,25 @@
+(** Bounded admission queue with load shedding.
+
+    The resident engine processes requests sequentially; this queue is
+    the only buffering between the sockets and the engine. Its depth is
+    capped at [max_inflight]: a {!submit} on a full queue returns
+    [`Shed retry_after_ms] (count it, answer with
+    {!Protocol.overloaded}, keep serving) instead of growing without
+    bound. The retry hint is deterministic — cap × a constant
+    per-request estimate — so shed responses stay golden-testable. *)
+
+type 'a t
+
+val create : max_inflight:int -> 'a t
+(** Raises [Invalid_argument] if [max_inflight < 1]. *)
+
+val submit : 'a t -> 'a -> [ `Admitted | `Shed of int ]
+(** [`Shed retry_after_ms] when the queue already holds [max_inflight]
+    entries. *)
+
+val take : 'a t -> 'a option
+(** Next admitted request, FIFO. *)
+
+val depth : 'a t -> int
+val admitted : 'a t -> int
+val shed : 'a t -> int

@@ -1,0 +1,504 @@
+(* The resident engine behind `bonsai serve`.
+
+   One engine holds a registry of warm networks (each an [Incr.state]:
+   the compressed per-class results plus the policy-signature cache) and
+   answers protocol requests against them. The engine is deliberately
+   sequential — the BDD manager is shared mutable state — so request
+   isolation comes from budgets, not threads: every request runs under
+   its own [Budget.t], the request's own --budget-ms/--budget-ticks
+   clamped by the server-wide caps ([Budget.scoped]), and a request that
+   exhausts it gets a typed budget-exceeded response while the engine
+   (and every other queued request) is untouched. [handle_line] is
+   total: arbitrary bytes in, exactly one typed response line out.
+
+   Warm-state policy: a cold [Incr.init] that *degraded* (its budget ran
+   out mid-compression, remaining classes fell back to identity) is
+   answered from but never cached — otherwise one under-budgeted request
+   would poison every later answer for that network with permanently
+   degraded results. Only fully-compressed states enter the registry. *)
+
+type entry = {
+  en_spec : string;
+  en_state : Incr.state;
+  mutable en_stamp : int;  (* LRU clock for the network registry *)
+}
+
+type t = {
+  resolve : string -> Device.network;
+  cap_deadline_s : float option;
+  cap_max_ticks : int option;
+  cache_cap : int option;
+  max_networks : int;
+  registry : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable n_requests : int;
+  mutable n_ok : int;
+  mutable n_errors : int;
+  mutable n_shed : int;
+  mutable n_net_evictions : int;
+  mutable n_checkpoints : int;
+  mutable restored : bool;
+}
+
+let create ~resolve ?budget_ms ?budget_ticks ?cache_cap ?(max_networks = 8) ()
+    =
+  if max_networks < 1 then
+    invalid_arg "Serve_engine.create: max_networks < 1";
+  {
+    resolve;
+    cap_deadline_s =
+      Option.map (fun ms -> float_of_int ms /. 1000.0) budget_ms;
+    cap_max_ticks = budget_ticks;
+    cache_cap;
+    max_networks;
+    registry = Hashtbl.create 7;
+    clock = 0;
+    n_requests = 0;
+    n_ok = 0;
+    n_errors = 0;
+    n_shed = 0;
+    n_net_evictions = 0;
+    n_checkpoints = 0;
+    restored = false;
+  }
+
+let note_shed t = t.n_shed <- t.n_shed + 1
+let networks t = Hashtbl.length t.registry
+let requests t = t.n_requests
+
+(* --- registry --------------------------------------------------------- *)
+
+let touch t en =
+  t.clock <- t.clock + 1;
+  en.en_stamp <- t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ en acc ->
+        match acc with
+        | Some best when best.en_stamp <= en.en_stamp -> acc
+        | _ -> Some en)
+      t.registry None
+  in
+  match victim with
+  | None -> ()
+  | Some en ->
+    Hashtbl.remove t.registry en.en_spec;
+    t.n_net_evictions <- t.n_net_evictions + 1
+
+let admit t spec st =
+  if Hashtbl.length t.registry >= t.max_networks then evict_lru t;
+  let en = { en_spec = spec; en_state = st; en_stamp = 0 } in
+  touch t en;
+  Hashtbl.replace t.registry spec en
+
+type warmth = Warm | Cold_cached | Cold_transient
+
+(* Look up or cold-build the state for a spec. The cold build runs under
+   the *request's* budget: a pathological network costs only its own
+   requester, never the server. *)
+let get_state t ~budget spec =
+  match Hashtbl.find_opt t.registry spec with
+  | Some en ->
+    touch t en;
+    (en.en_state, Warm)
+  | None -> (
+    let net = t.resolve spec in
+    match Incr.init ?cache_cap:t.cache_cap ~budget net with
+    | Error e -> Bonsai_error.error e
+    | Ok st ->
+      if Option.is_some (Incr.summary st).Bonsai_api.degradation then
+        (st, Cold_transient)
+      else begin
+        admit t spec st;
+        (st, Cold_cached)
+      end)
+
+(* --- parameter helpers ------------------------------------------------ *)
+
+let request_budget t req =
+  Budget.scoped
+    ?deadline_s:
+      (Option.map
+         (fun ms -> float_of_int ms /. 1000.0)
+         (Protocol.int_param req "budget_ms"))
+    ?max_ticks:(Protocol.int_param req "budget_ticks")
+    ?cap_deadline_s:t.cap_deadline_s ?cap_max_ticks:t.cap_max_ticks ()
+
+let network_param req = Protocol.require_string req "network"
+
+let find_ec net = function
+  | None -> (
+    match Ecs.compute net with
+    | ec :: _ -> ec
+    | [] -> failwith "network originates no destination prefixes")
+  | Some p -> (
+    let p = Prefix.of_string p in
+    match
+      List.find_opt
+        (fun ec -> Prefix.equal ec.Ecs.ec_prefix p)
+        (Ecs.compute net)
+    with
+    | Some ec -> ec
+    | None -> Format.kasprintf failwith "no destination class %a" Prefix.pp p)
+
+let prefix_str p = Format.asprintf "%a" Prefix.pp p
+
+(* Mirror of the one-shot CLI's --degrade contract: a degraded result is
+   a typed budget-exceeded response unless the request opted into
+   degradation with "degrade": true — then it is an ok response whose
+   "degraded" fields say what fell back to identity. *)
+let wants_degrade req =
+  Option.value ~default:false (Protocol.bool_param req "degrade")
+
+let check_degradation req = function
+  | Some (d : Bonsai_api.degradation) when not (wants_degrade req) ->
+    Bonsai_error.error (Bonsai_error.Budget_exceeded d.Bonsai_api.deg_info)
+  | _ -> ()
+
+(* --- ops -------------------------------------------------------------- *)
+
+(* Deterministic by design: responses carry structure (class sizes,
+   counts, verdicts) but never wall-clock or cache counters — the
+   kill-and-restart acceptance test diffs a warm-restored compress
+   response byte-for-byte against a cold one. Timings live in `stats`. *)
+
+let ec_row (r : Bonsai_api.ec_result) =
+  Json.Obj
+    [
+      ("destination", Json.String (prefix_str r.Bonsai_api.ec.Ecs.ec_prefix));
+      ( "abstract_nodes",
+        Json.Int (Abstraction.n_abstract r.Bonsai_api.abstraction) );
+      ( "abstract_links",
+        Json.Int
+          (Graph.n_links r.Bonsai_api.abstraction.Abstraction.abs_graph) );
+      ("degraded", Json.Bool r.Bonsai_api.degraded);
+    ]
+
+let compress_op t req =
+  let budget = request_budget t req in
+  let st, _ = get_state t ~budget (network_param req) in
+  let summary = Incr.summary st in
+  check_degradation req summary.Bonsai_api.degradation;
+  let results =
+    match Protocol.string_param req "ec" with
+    | None -> summary.Bonsai_api.results
+    | Some p -> (
+      let p = Prefix.of_string p in
+      match
+        List.filter
+          (fun (r : Bonsai_api.ec_result) ->
+            Prefix.equal r.Bonsai_api.ec.Ecs.ec_prefix p)
+          summary.Bonsai_api.results
+      with
+      | [] -> Format.kasprintf failwith "no destination class %a" Prefix.pp p
+      | rs -> rs)
+  in
+  [
+    ("network", Json.String (network_param req));
+    ("ecs", Json.Int (List.length results));
+    ("skipped_anycast", Json.Int summary.Bonsai_api.skipped_anycast);
+    ( "degraded",
+      Json.Bool (Option.is_some summary.Bonsai_api.degradation) );
+    ("classes", Json.List (List.map ec_row results));
+  ]
+
+let diag_json (d : Diag.t) =
+  let opt_str k = function
+    | None -> []
+    | Some s -> [ (k, Json.String s) ]
+  in
+  let opt_int k = function None -> [] | Some i -> [ (k, Json.Int i) ] in
+  Json.Obj
+    (("check", Json.String d.Diag.check)
+    :: ("severity", Json.String (Diag.severity_to_string d.Diag.severity))
+    :: (opt_str "router" d.Diag.loc.Diag.router
+       @ opt_str "neighbor" d.Diag.loc.Diag.neighbor
+       @ opt_str "route_map" d.Diag.loc.Diag.rm_name
+       @ opt_int "clause" d.Diag.loc.Diag.clause
+       @ opt_int "line" d.Diag.loc.Diag.line
+       @ [ ("message", Json.String d.Diag.message) ]))
+
+let lint_op t req =
+  let budget = request_budget t req in
+  let spec = network_param req in
+  let net =
+    match Hashtbl.find_opt t.registry spec with
+    | Some en ->
+      touch t en;
+      Incr.network en.en_state
+    | None -> t.resolve spec
+  in
+  let compression =
+    Option.value ~default:true (Protocol.bool_param req "compression")
+  in
+  let flow = Option.value ~default:false (Protocol.bool_param req "flow") in
+  let ds = Lint.run ~compression ~flow ~budget net in
+  [
+    ("network", Json.String spec);
+    ("findings", Json.List (List.map diag_json ds));
+    ("count", Json.Int (List.length ds));
+    ("errors", Json.Bool (Lint.has_errors ds));
+  ]
+
+let flow_op t req =
+  let budget = request_budget t req in
+  let spec = network_param req in
+  let net =
+    match Hashtbl.find_opt t.registry spec with
+    | Some en ->
+      touch t en;
+      Incr.network en.en_state
+    | None -> t.resolve spec
+  in
+  let ds = List.sort Diag.compare (Lint_flow.run ~budget net) in
+  let degraded =
+    List.exists (fun d -> String.equal d.Diag.check "flow-degraded") ds
+  in
+  [
+    ("network", Json.String spec);
+    ("findings", Json.List (List.map diag_json ds));
+    ("count", Json.Int (List.length ds));
+    ("degraded", Json.Bool degraded);
+  ]
+
+let diff_op t req =
+  let budget = request_budget t req in
+  let spec = network_param req in
+  let to_spec = Protocol.require_string req "to" in
+  let st, _ = get_state t ~budget spec in
+  let net' = t.resolve to_spec in
+  match Incr.recompress_net ~budget st net' with
+  | Error e -> Bonsai_error.error e
+  | Ok (deltas, rep) ->
+    check_degradation req rep.Incr.r_degradation;
+    [
+      ("network", Json.String spec);
+      ("to", Json.String to_spec);
+      ("deltas", Json.Int (List.length deltas));
+      ("ecs", Json.Int rep.Incr.r_ecs);
+      ("reused", Json.Int rep.Incr.r_reused);
+      ("seeded", Json.Int rep.Incr.r_seeded);
+      ("scratch", Json.Int rep.Incr.r_scratch);
+      ("full_rebuild", Json.Bool rep.Incr.r_full_rebuild);
+      ( "degraded",
+        Json.Bool (Option.is_some rep.Incr.r_degradation) );
+    ]
+
+let faults_op t req =
+  let budget = request_budget t req in
+  let spec = network_param req in
+  let st, _ = get_state t ~budget spec in
+  let net = Incr.network st in
+  let ec = find_ec net (Protocol.string_param req "ec") in
+  let k = Option.value ~default:1 (Protocol.int_param req "k") in
+  let samples = Protocol.int_param req "samples" in
+  let seed = Option.value ~default:0 (Protocol.int_param req "seed") in
+  let dest = Ecs.single_origin ec in
+  let srp = Compile.bgp_srp net ~dest ~dest_prefix:ec.Ecs.ec_prefix in
+  let plan = Fault_engine.plan ?samples ~seed ~k net.Device.graph in
+  let cache = Fault_engine.cache () in
+  let report = Fault_engine.survey ~budget ~cache srp plan in
+  (* the abstraction is the warm one the registry already holds *)
+  let r =
+    match
+      List.find_opt
+        (fun (r : Bonsai_api.ec_result) ->
+          Prefix.equal r.Bonsai_api.ec.Ecs.ec_prefix ec.Ecs.ec_prefix)
+        (Incr.summary st).Bonsai_api.results
+    with
+    | Some r -> r
+    | None -> Format.kasprintf failwith "no result for class %a" Ecs.pp ec
+  in
+  let abstraction = r.Bonsai_api.abstraction in
+  let break_ =
+    Soundness.first_break abstraction ~concrete:srp ~concrete_cache:cache
+      ~abstract_:(Abstraction.bgp_srp abstraction)
+      plan.Fault_engine.scenarios
+  in
+  [
+    ("network", Json.String spec);
+    ("destination", Json.String (prefix_str ec.Ecs.ec_prefix));
+    ("scenarios", Json.Int (List.length plan.Fault_engine.scenarios));
+    ("exhaustive", Json.Bool plan.Fault_engine.exhaustive);
+    ("stable", Json.Int report.Fault_engine.n_stable);
+    ("disconnected", Json.Int report.Fault_engine.n_disconnected);
+    ("diverged", Json.Int report.Fault_engine.n_diverged);
+    ("skipped", Json.Int report.Fault_engine.n_skipped);
+    ("sound", Json.Bool (Option.is_none break_));
+    ( "break_scenario",
+      match break_ with
+      | None -> Json.Null
+      | Some (sc, _) ->
+        Json.String
+          (Format.asprintf "%a" (Scenario.pp ~names:(Graph.name net.Device.graph)) sc) );
+  ]
+
+let harden_op t req =
+  let budget = request_budget t req in
+  let spec = network_param req in
+  let st, _ = get_state t ~budget spec in
+  let net = Incr.network st in
+  let ec = find_ec net (Protocol.string_param req "ec") in
+  let k = Protocol.int_param req "k" in
+  let rounds = Protocol.int_param req "rounds" in
+  let samples = Protocol.int_param req "samples" in
+  let seed = Protocol.int_param req "seed" in
+  match Repair.harden ?k ?rounds ?samples ?seed ~budget net ec with
+  | Error e -> Bonsai_error.error e
+  | Ok r ->
+    let abstraction = r.Repair.result.Bonsai_api.abstraction in
+    [
+      ("network", Json.String spec);
+      ("destination", Json.String (prefix_str ec.Ecs.ec_prefix));
+      ("rounds", Json.Int (List.length r.Repair.rounds));
+      ("pins", Json.Int (List.length r.Repair.pins));
+      ("scenarios", Json.Int r.Repair.n_scenarios);
+      ("counterexamples", Json.Int r.Repair.n_counterexamples);
+      ("sound", Json.Bool r.Repair.sound);
+      ( "fallback",
+        Json.String
+          (match r.Repair.fallback with
+          | Bonsai_api.No_fallback -> "none"
+          | Bonsai_api.Budget_fallback _ -> "budget"
+          | Bonsai_api.Rounds_fallback -> "rounds") );
+      ("abstract_nodes", Json.Int (Abstraction.n_abstract abstraction));
+      ( "abstract_links",
+        Json.Int (Graph.n_links abstraction.Abstraction.abs_graph) );
+    ]
+
+let load_op t req =
+  let budget = request_budget t req in
+  let spec = network_param req in
+  let st, warmth = get_state t ~budget spec in
+  let summary = Incr.summary st in
+  check_degradation req summary.Bonsai_api.degradation;
+  [
+    ("network", Json.String spec);
+    ("ecs", Json.Int (List.length summary.Bonsai_api.results));
+    ( "degraded",
+      Json.Bool (Option.is_some summary.Bonsai_api.degradation) );
+    ( "cached",
+      Json.Bool (match warmth with Cold_transient -> false | _ -> true) );
+  ]
+
+let unload_op t req =
+  let spec = network_param req in
+  let present = Hashtbl.mem t.registry spec in
+  Hashtbl.remove t.registry spec;
+  [ ("network", Json.String spec); ("removed", Json.Bool present) ]
+
+let health_op t ~queue_depth =
+  [
+    ("status", Json.String "ok");
+    ("networks", Json.Int (Hashtbl.length t.registry));
+    ("queue_depth", Json.Int queue_depth);
+  ]
+
+let stats_op t ~queue_depth =
+  let rows =
+    Hashtbl.fold (fun _ en acc -> en :: acc) t.registry []
+    |> List.sort (fun a b -> String.compare a.en_spec b.en_spec)
+    |> List.map (fun en ->
+           let hits, misses = Incr.cache_stats en.en_state in
+           Json.Obj
+             [
+               ("network", Json.String en.en_spec);
+               ( "ecs",
+                 Json.Int
+                   (List.length
+                      (Incr.summary en.en_state).Bonsai_api.results) );
+               ("cache_hits", Json.Int hits);
+               ("cache_misses", Json.Int misses);
+               ( "cache_evictions",
+                 Json.Int (Incr.cache_evictions en.en_state) );
+             ])
+  in
+  [
+    ("requests", Json.Int t.n_requests);
+    ("ok", Json.Int t.n_ok);
+    ("errors", Json.Int t.n_errors);
+    ("shed", Json.Int t.n_shed);
+    ("queue_depth", Json.Int queue_depth);
+    ("networks", Json.List rows);
+    ("network_evictions", Json.Int t.n_net_evictions);
+    ("checkpoints_saved", Json.Int t.n_checkpoints);
+    ("restored_from_checkpoint", Json.Bool t.restored);
+  ]
+
+(* --- dispatch --------------------------------------------------------- *)
+
+let dispatch t ~queue_depth (req : Protocol.request) =
+  match req.Protocol.req_op with
+  | "compress" -> (compress_op t req, `Continue)
+  | "lint" -> (lint_op t req, `Continue)
+  | "flow" -> (flow_op t req, `Continue)
+  | "diff" -> (diff_op t req, `Continue)
+  | "faults" -> (faults_op t req, `Continue)
+  | "harden" -> (harden_op t req, `Continue)
+  | "load" -> (load_op t req, `Continue)
+  | "unload" -> (unload_op t req, `Continue)
+  | "health" -> (health_op t ~queue_depth, `Continue)
+  | "stats" -> (stats_op t ~queue_depth, `Continue)
+  | "shutdown" -> ([ ("stopping", Json.Bool true) ], `Shutdown)
+  | op -> Format.kasprintf failwith "unknown op %S" op
+
+(* Total: every line in, exactly one typed response line out. The
+   catch-all is the isolation boundary — no request, however malformed
+   or expensive, takes the engine down. *)
+let handle_line t ~queue_depth line =
+  t.n_requests <- t.n_requests + 1;
+  match Protocol.parse_request line with
+  | Error m ->
+    t.n_errors <- t.n_errors + 1;
+    (Protocol.bad_request ~id:Json.Null ~op:"unknown" m, `Continue)
+  | Ok req -> (
+    let id = req.Protocol.req_id and op = req.Protocol.req_op in
+    match dispatch t ~queue_depth req with
+    | fields, continue ->
+      t.n_ok <- t.n_ok + 1;
+      (Protocol.ok_response ~id ~op fields, continue)
+    | exception e ->
+      t.n_errors <- t.n_errors + 1;
+      let resp =
+        match e with
+        | Protocol.Bad_param m | Failure m | Invalid_argument m ->
+          Protocol.bad_request ~id ~op m
+        | e -> Protocol.of_bonsai_error ~id ~op (Bonsai_error.of_exn e)
+      in
+      (resp, `Continue))
+
+(* --- warm-state checkpointing ----------------------------------------- *)
+
+(* The payload is the registry contents, sorted by spec for a stable
+   byte image. [Incr.state] is plain data all the way down (the BDD
+   manager included), so one Marshal blob preserves the BDD sharing
+   between the signature cache and every class result. *)
+type payload = (string * Incr.state) list
+
+let checkpoint t ~path =
+  let rows =
+    Hashtbl.fold (fun _ en acc -> (en.en_spec, en.en_state) :: acc)
+      t.registry []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  match Checkpoint.save ~path (rows : payload) with
+  | Ok () ->
+    t.n_checkpoints <- t.n_checkpoints + 1;
+    Ok (List.length rows)
+  | Error m -> Error m
+
+let restore t ~path =
+  match (Checkpoint.load ~path : (payload, Checkpoint.load_error) result) with
+  | Ok rows ->
+    List.iter
+      (fun (spec, st) ->
+        (* marshaled copies lost Budget.infinite's physical identity *)
+        Incr.rearm st;
+        admit t spec st)
+      rows;
+    t.restored <- true;
+    `Restored (List.length rows)
+  | Error Checkpoint.Missing -> `Missing
+  | Error e -> `Cold (Format.asprintf "%a" Checkpoint.pp_load_error e)

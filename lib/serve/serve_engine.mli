@@ -1,0 +1,57 @@
+(** The resident engine behind [bonsai serve].
+
+    Holds a registry of warm networks — each an [Incr.state]: the
+    compressed per-class results plus the policy-signature cache — and
+    answers protocol requests against them. Sequential by design (the
+    BDD manager is shared mutable state): request isolation comes from
+    per-request budgets, not threads. {!handle_line} is total — any
+    byte sequence in, exactly one typed NDJSON response line out;
+    nothing a client sends can crash the engine.
+
+    Ops: [compress], [lint], [flow], [diff], [faults], [harden],
+    [load], [unload], [health], [stats], [shutdown]. Responses that
+    acceptance tests diff byte-for-byte (compress in particular) carry
+    no wall-clock or cache counters; those live in [stats] only. *)
+
+type t
+
+val create :
+  resolve:(string -> Device.network) ->
+  ?budget_ms:int ->
+  ?budget_ticks:int ->
+  ?cache_cap:int ->
+  ?max_networks:int ->
+  unit ->
+  t
+(** [resolve] maps a network spec (e.g. ["fattree:4"], ["file:PATH"])
+    to a network; it may raise [Failure] (→ bad-request) or
+    [Bonsai_error.Error] (→ the matching typed response).
+    [budget_ms]/[budget_ticks] are server-wide caps: every request runs
+    under [Budget.scoped] of its own ["budget_ms"]/["budget_ticks"]
+    parameters clamped by these. [cache_cap] bounds each network's
+    signature cache; [max_networks] (default 8) bounds the registry,
+    LRU-evicting beyond it. *)
+
+val handle_line :
+  t -> queue_depth:int -> string -> string * [ `Continue | `Shutdown ]
+(** Process one request line; returns the response line (no trailing
+    newline) and whether the server should keep running. Total.
+    [queue_depth] is echoed into [health]/[stats] responses. *)
+
+val note_shed : t -> unit
+(** Count a request shed by the admission queue (the scheduler lives in
+    the server loop; the engine only keeps the statistic). *)
+
+val networks : t -> int
+val requests : t -> int
+
+val checkpoint : t -> path:string -> (int, string) result
+(** Atomically persist every registered network's warm state; returns
+    how many were saved. *)
+
+val restore :
+  t -> path:string -> [ `Restored of int | `Cold of string | `Missing ]
+(** Load a checkpoint written by {!checkpoint}, re-arming each state's
+    transient handles. Corruption or version skew degrades to
+    [`Cold reason] — the caller logs it and serves cold; never an
+    exception. *)

@@ -1,8 +1,22 @@
-let now = Unix.gettimeofday
+(* The only wall clock in the tree. [Unix.gettimeofday] can step backwards
+   (NTP slew, VM migration); every consumer that computes an elapsed time
+   from two samples would then see a negative duration. [monotonic_now]
+   never goes backwards: a backwards step freezes the reported time until
+   the real clock catches up, so elapsed intervals degrade to zero instead
+   of negative. *)
+
+let last = ref neg_infinity
+
+let monotonic_now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let now = monotonic_now
 
 let time f =
-  let t0 = now () in
+  let t0 = monotonic_now () in
   let r = f () in
-  (r, now () -. t0)
+  (r, max 0.0 (monotonic_now () -. t0))
 
 let time_ignore f = snd (time f)

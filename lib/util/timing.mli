@@ -1,10 +1,23 @@
-(** Wall-clock timing helpers for the benchmark harness. *)
+(** Wall-clock timing, centralized behind a never-backwards clock.
+
+    [Unix.gettimeofday] may step backwards under NTP adjustment; a naive
+    [t1 -. t0] then yields a negative elapsed time, which has produced
+    both nonsense benchmark rows and (worse) budget deadlines that never
+    fire. Everything in the tree that needs a timestamp — {!time} here,
+    [Budget] deadlines, the serve engine's drain deadline — goes through
+    {!monotonic_now}. *)
+
+val monotonic_now : unit -> float
+(** Seconds since the epoch, guaranteed non-decreasing within this
+    process: a backwards clock step freezes the value until the real
+    clock catches up. *)
 
 val now : unit -> float
-(** Monotonic-enough wall-clock time in seconds. *)
+(** Alias for {!monotonic_now}. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+(** [time f] runs [f ()] and returns its result with the elapsed seconds
+    (clamped to be non-negative). *)
 
 val time_ignore : (unit -> 'a) -> float
 (** [time_ignore f] is the elapsed seconds of [f ()], discarding the result. *)

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Soak the resident engine over a real unix socket — the transport the
+# golden --stdio tests cannot cover. Phases:
+#
+#   1. mixed request stream; typed errors (budget-exceeded, bad
+#      request) must stay typed and map to the documented exit codes
+#   2. SIGTERM mid-stream: drain, checkpoint, exit 0
+#   3. restart: warm restore; compress response byte-identical to cold
+#   4. kill -9: the periodic checkpoint (--checkpoint-every 1) survives
+#      and the restart restores every loaded network
+#   5. corrupt checkpoint: cold rebuild with a warning, never a crash
+#
+# Every request must produce exactly one typed JSON response — any
+# empty read, connection error, or unexpected exit code fails the soak.
+set -u
+
+BIN=${BIN:-_build/default/bin/bonsai_cli.exe}
+DIR=$(mktemp -d)
+SOCK="$DIR/bonsai.sock"
+CKPT="$DIR/warm.ckpt"
+SRV=
+
+fail() {
+  echo "serve_soak FAIL: $*" >&2
+  [ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null
+  exit 1
+}
+cleanup() {
+  [ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+start_server() { # logfile extra-args...
+  local log=$1
+  shift
+  # a kill -9 leaves the previous socket file behind; remove it so the
+  # readiness probe below sees the new server's bind, not the stale file
+  rm -f "$SOCK"
+  "$BIN" serve --socket "$SOCK" --checkpoint "$CKPT" "$@" 2>"$log" &
+  SRV=$!
+  for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  fail "server never created $SOCK ($(cat "$log"))"
+}
+
+req() { # expected-exit-code outfile request-args...
+  local want=$1 out=$2
+  shift 2
+  "$BIN" request --socket "$SOCK" "$@" >"$out"
+  local code=$?
+  [ "$code" -eq "$want" ] ||
+    fail "request $* exited $code, want $want ($(cat "$out"))"
+  grep -q '"ok":' "$out" ||
+    fail "request $* got a non-typed response: $(cat "$out")"
+}
+
+echo "== phase 1: mixed stream =="
+start_server "$DIR/s1.log" --checkpoint-every 1 --max-inflight 8
+req 0 "$DIR/r.json" health
+req 0 "$DIR/r.json" load --network ring:6
+req 0 "$DIR/cold.json" compress --network ring:6
+req 0 "$DIR/r.json" compress --network ring:6 --ec 10.0.1.0/24
+req 0 "$DIR/r.json" lint --network ring:6
+req 0 "$DIR/r.json" flow --network ring:6
+req 0 "$DIR/r.json" diff --network ring:6 --to ring:6
+req 0 "$DIR/r.json" stats
+# request isolation: a starved request fails typed, the server lives on
+req 3 "$DIR/r.json" compress --network mesh:4 --budget-ticks 1
+req 124 "$DIR/r.json" frobnicate
+req 124 "$DIR/r.json" compress # missing network param
+req 0 "$DIR/r.json" health
+
+echo "== phase 2: SIGTERM mid-stream =="
+(
+  for _ in 1 2 3; do
+    "$BIN" request --socket "$SOCK" compress --network ring:6 \
+      >/dev/null 2>&1
+  done
+) &
+STREAM=$!
+sleep 0.3
+kill -TERM "$SRV"
+wait "$SRV"
+code=$?
+[ "$code" -eq 0 ] || fail "SIGTERM exit code $code, want 0 (drained)"
+wait "$STREAM" 2>/dev/null
+SRV=
+[ -f "$CKPT" ] || fail "no checkpoint written on SIGTERM"
+
+echo "== phase 3: restart restores warm state =="
+start_server "$DIR/s2.log" --checkpoint-every 1
+grep -q "restored" "$DIR/s2.log" ||
+  fail "restart did not restore ($(cat "$DIR/s2.log"))"
+req 0 "$DIR/stats.json" stats
+grep -q '"restored_from_checkpoint":true' "$DIR/stats.json" ||
+  fail "stats does not report the restore: $(cat "$DIR/stats.json")"
+req 0 "$DIR/warm.json" compress --network ring:6
+cmp -s "$DIR/cold.json" "$DIR/warm.json" ||
+  fail "warm-restored compress differs from the cold response"
+
+echo "== phase 4: kill -9 survives via the periodic checkpoint =="
+req 0 "$DIR/r.json" load --network ring:8
+sleep 0.7 # let the post-response checkpoint land before the kill
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null
+SRV=
+start_server "$DIR/s3.log" --checkpoint-every 1
+grep -q "restored" "$DIR/s3.log" ||
+  fail "restart after kill -9 did not restore ($(cat "$DIR/s3.log"))"
+req 0 "$DIR/warm2.json" compress --network ring:6
+cmp -s "$DIR/cold.json" "$DIR/warm2.json" ||
+  fail "post-kill warm compress differs from the cold response"
+req 0 "$DIR/r.json" compress --network ring:8
+req 0 "$DIR/r.json" shutdown
+wait "$SRV"
+code=$?
+[ "$code" -eq 0 ] || fail "shutdown op exit code $code, want 0"
+SRV=
+
+echo "== phase 5: corrupt checkpoint degrades to cold =="
+printf 'not a checkpoint\n' >"$CKPT"
+start_server "$DIR/s4.log"
+grep -q "cold start" "$DIR/s4.log" ||
+  fail "corrupt checkpoint not reported ($(cat "$DIR/s4.log"))"
+req 0 "$DIR/r.json" health
+req 0 "$DIR/cold2.json" compress --network ring:6
+cmp -s "$DIR/cold.json" "$DIR/cold2.json" ||
+  fail "cold rebuild after corruption is not deterministic"
+req 0 "$DIR/r.json" shutdown
+wait "$SRV"
+code=$?
+[ "$code" -eq 0 ] || fail "exit after corrupt-checkpoint start was $code"
+SRV=
+
+echo "serve_soak PASS"

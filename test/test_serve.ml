@@ -1,0 +1,480 @@
+(* Tests for the resident engine (lib/serve): the JSON codec, protocol
+   framing, the bounded admission queue, the checkpoint format's three
+   corruption guards, the engine's crash-proof request boundary (budget
+   isolation, typed errors, warm-state restore), and the Sig_cache LRU
+   eviction the engine relies on to stay bounded.
+
+   The QCheck iteration count defaults to a small CI-friendly number and
+   scales with FUZZ_COUNT (e.g. `FUZZ_COUNT=500 dune exec
+   test/test_serve.exe`). *)
+
+let fuzz_count =
+  match Option.bind (Sys.getenv_opt "FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 40
+
+(* --- Json -------------------------------------------------------------- *)
+
+let sample_values =
+  [
+    Json.Null;
+    Json.Bool true;
+    Json.Int (-42);
+    Json.Float 1.5;
+    Json.String "plain";
+    Json.String "esc \"quote\" \\ back \n tab \t nul \x00 high \xc3\xa9";
+    Json.List [ Json.Int 1; Json.Null; Json.List [] ];
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ]);
+        ("", Json.String "empty key");
+      ];
+  ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok v' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip %s" (Json.to_string v))
+          true (Json.equal v v')
+      | Error m -> Alcotest.failf "reparse failed: %s" m)
+    sample_values
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "tru";
+      "1 2";
+      "\"unterminated";
+      "{\"a\" 1}";
+      "nan";
+      (* nesting beyond the depth bound must be an error, not a stack
+         overflow *)
+      String.concat "" (List.init 500 (fun _ -> "["))
+      ^ String.concat "" (List.init 500 (fun _ -> "]"));
+    ]
+
+let test_json_nonfinite () =
+  Alcotest.(check string)
+    "nan renders null" "null"
+    (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf renders null" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+(* --- Protocol ----------------------------------------------------------- *)
+
+let test_protocol_parse () =
+  (match Protocol.parse_request "{\"id\":7,\"op\":\"health\"}" with
+  | Ok r ->
+    Alcotest.(check bool) "id echoed" true (Json.equal r.Protocol.req_id (Json.Int 7));
+    Alcotest.(check string) "op" "health" r.Protocol.req_op
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  List.iter
+    (fun s ->
+      match Protocol.parse_request s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [
+      "[]";
+      "{}";
+      "{\"op\":\"\"}";
+      "{\"op\":3}";
+      "not json";
+      String.make (Protocol.max_line_bytes + 1) 'x';
+    ]
+
+let test_protocol_exit_codes () =
+  let check cls code =
+    Alcotest.(check int) cls code (Protocol.exit_code_of_class cls)
+  in
+  check "budget-exceeded" 3;
+  check "parse-error" 4;
+  check "compile-error" 5;
+  check "divergence" 6;
+  check "soundness-break" 7;
+  check "internal" 9;
+  check "bad-request" 124;
+  check "overloaded" 11;
+  check "never-heard-of-it" 9
+
+(* --- Scheduler ---------------------------------------------------------- *)
+
+let test_scheduler_fifo_and_shed () =
+  let q = Scheduler.create ~max_inflight:2 in
+  Alcotest.(check bool) "a admitted" true
+    (match Scheduler.submit q "a" with `Admitted -> true | `Shed _ -> false);
+  Alcotest.(check bool) "b admitted" true
+    (match Scheduler.submit q "b" with `Admitted -> true | `Shed _ -> false);
+  (match Scheduler.submit q "c" with
+  | `Admitted -> Alcotest.fail "c must be shed"
+  | `Shed retry ->
+    Alcotest.(check int) "deterministic retry hint" 200 retry);
+  Alcotest.(check (option string)) "fifo" (Some "a") (Scheduler.take q);
+  Alcotest.(check bool) "room again" true
+    (match Scheduler.submit q "c" with `Admitted -> true | `Shed _ -> false);
+  Alcotest.(check (option string)) "fifo 2" (Some "b") (Scheduler.take q);
+  Alcotest.(check (option string)) "fifo 3" (Some "c") (Scheduler.take q);
+  Alcotest.(check (option string)) "empty" None (Scheduler.take q);
+  Alcotest.(check int) "admitted count" 3 (Scheduler.admitted q);
+  Alcotest.(check int) "shed count" 1 (Scheduler.shed q);
+  Alcotest.check_raises "max_inflight < 1 rejected"
+    (Invalid_argument "Scheduler.create: max_inflight < 1") (fun () ->
+      ignore (Scheduler.create ~max_inflight:0))
+
+(* --- Sig_cache LRU eviction -------------------------------------------- *)
+
+let test_sig_cache_eviction () =
+  let net = Synthesis.ring_bgp ~n:4 in
+  let cache = Sig_cache.create ~max_entries:2 net in
+  let p n = Prefix.of_string (Printf.sprintf "10.0.%d.0/24" n) in
+  let b0 = Sig_cache.rm_bdd cache ~dest:(p 0) None in
+  ignore (Sig_cache.rm_bdd cache ~dest:(p 1) None);
+  Alcotest.(check int) "full" 2 (Sig_cache.length cache);
+  Alcotest.(check int) "no evictions yet" 0 (Sig_cache.evictions cache);
+  (* touch p0 so p1 is the LRU victim *)
+  ignore (Sig_cache.rm_bdd cache ~dest:(p 0) None);
+  ignore (Sig_cache.rm_bdd cache ~dest:(p 2) None);
+  Alcotest.(check int) "capped" 2 (Sig_cache.length cache);
+  Alcotest.(check int) "one eviction" 1 (Sig_cache.evictions cache);
+  let hits_before, misses_before = Sig_cache.stats cache in
+  (* p0 survived (touched): a hit. p1 was evicted: re-encodes as a miss,
+     but into the same hash-consed manager — the identical BDD node. *)
+  let b0' = Sig_cache.rm_bdd cache ~dest:(p 0) None in
+  Alcotest.(check bool) "touched entry survived" true (b0 == b0');
+  ignore (Sig_cache.rm_bdd cache ~dest:(p 1) None);
+  let hits_after, misses_after = Sig_cache.stats cache in
+  Alcotest.(check int) "survivor hit" (hits_before + 1) hits_after;
+  Alcotest.(check int) "evictee re-encoded" (misses_before + 1) misses_after;
+  Alcotest.(check int) "cap accessor" 2 (Sig_cache.max_entries cache);
+  Alcotest.check_raises "max_entries < 1 rejected"
+    (Invalid_argument "Sig_cache.create: max_entries < 1") (fun () ->
+      ignore (Sig_cache.create ~max_entries:0 net))
+
+(* --- Checkpoint --------------------------------------------------------- *)
+
+let with_tmp f =
+  let path = Filename.temp_file "bonsai_test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_checkpoint_roundtrip () =
+  with_tmp @@ fun path ->
+  let v = [ ("ring:4", [ 1; 2; 3 ]); ("mesh:9", []) ] in
+  (match Checkpoint.save ~path v with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save: %s" m);
+  match
+    (Checkpoint.load ~path
+      : ((string * int list) list, Checkpoint.load_error) result)
+  with
+  | Ok v' -> Alcotest.(check bool) "payload restored" true (v = v')
+  | Error e -> Alcotest.failf "load: %a" Checkpoint.pp_load_error e
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let expect_load path expected =
+  match (Checkpoint.load ~path : (int list, Checkpoint.load_error) result) with
+  | Ok _ -> Alcotest.failf "load accepted a damaged checkpoint"
+  | Error e -> (
+    match (e, expected) with
+    | Checkpoint.Corrupt _, `Corrupt
+    | Checkpoint.Version_skew _, `Skew
+    | Checkpoint.Missing, `Missing ->
+      ()
+    | _ ->
+      Alcotest.failf "wrong error class: %a" Checkpoint.pp_load_error e)
+
+let test_checkpoint_guards () =
+  with_tmp @@ fun path ->
+  (* missing: load before any save (the tmp file exists but is empty —
+     an empty file has no header, i.e. Corrupt; true Missing needs no
+     file at all) *)
+  expect_load path `Corrupt;
+  Sys.remove path;
+  expect_load path `Missing;
+  (match Checkpoint.save ~path [ 1; 2; 3 ] with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save: %s" m);
+  let good = read_file path in
+  (* truncation: drop the last byte *)
+  write_file path (String.sub good 0 (String.length good - 1));
+  expect_load path `Corrupt;
+  (* bit rot: flip one payload byte (keeps the length) *)
+  let rotten = Bytes.of_string good in
+  let last = Bytes.length rotten - 1 in
+  Bytes.set rotten last (Char.chr (Char.code (Bytes.get rotten last) lxor 1));
+  write_file path (Bytes.to_string rotten);
+  expect_load path `Corrupt;
+  (* version skew: a checkpoint from a "different build" (forged digest)
+     must be refused before Marshal ever sees the payload *)
+  let nl = String.index good '\n' in
+  let header = String.sub good 0 nl in
+  (match String.split_on_char ' ' header with
+  | [ magic; version; _digest; md5; len ] ->
+    let forged =
+      String.concat " "
+        [ magic; version; String.make 32 '0'; md5; len ]
+      ^ String.sub good nl (String.length good - nl)
+    in
+    write_file path forged;
+    expect_load path `Skew
+  | _ -> Alcotest.fail "unexpected header shape");
+  (* garbage *)
+  write_file path "garbage without any newline";
+  expect_load path `Corrupt
+
+(* --- Serve_engine ------------------------------------------------------- *)
+
+let resolve = function
+  | "ring:4" -> Synthesis.ring_bgp ~n:4
+  | "ring:6" -> Synthesis.ring_bgp ~n:6
+  | "mesh:4" -> Synthesis.mesh_bgp ~n:4
+  | s -> failwith ("unknown network " ^ s)
+
+let engine () = Serve_engine.create ~resolve ()
+
+let handle eng line = fst (Serve_engine.handle_line eng ~queue_depth:0 line)
+
+let response_ok resp =
+  match Json.parse resp with
+  | Ok r -> (
+    match Json.member "ok" r with
+    | Some (Json.Bool b) -> b
+    | _ -> Alcotest.failf "response without ok: %s" resp)
+  | Error m -> Alcotest.failf "unparsable response %S: %s" resp m
+
+let error_class resp =
+  match Json.parse resp with
+  | Ok r -> (
+    match Option.bind (Json.member "error" r) (Json.member "class") with
+    | Some (Json.String c) -> c
+    | _ -> Alcotest.failf "response without error class: %s" resp)
+  | Error m -> Alcotest.failf "unparsable response %S: %s" resp m
+
+let test_engine_budget_isolation () =
+  let eng = engine () in
+  (* a starved request gets a typed budget-exceeded response ... *)
+  let r1 =
+    handle eng "{\"op\":\"compress\",\"network\":\"mesh:4\",\"budget_ticks\":1}"
+  in
+  Alcotest.(check bool) "starved request fails" false (response_ok r1);
+  Alcotest.(check string) "typed class" "budget-exceeded" (error_class r1);
+  (* ... and the poisoned state was NOT cached ... *)
+  Alcotest.(check int) "degraded state not cached" 0
+    (Serve_engine.networks eng);
+  (* ... while the engine keeps answering everyone else *)
+  let r2 = handle eng "{\"op\":\"compress\",\"network\":\"ring:4\"}" in
+  Alcotest.(check bool) "next request unaffected" true (response_ok r2);
+  (* opting in with "degrade": true turns the same starvation into an ok
+     response that says what fell back *)
+  let r3 =
+    handle eng
+      "{\"op\":\"compress\",\"network\":\"mesh:4\",\"budget_ticks\":1,\
+       \"degrade\":true}"
+  in
+  Alcotest.(check bool) "degrade opt-in" true (response_ok r3)
+
+let test_engine_typed_errors () =
+  let eng = engine () in
+  List.iter
+    (fun (line, cls) ->
+      let r = handle eng line in
+      Alcotest.(check bool) (line ^ " fails") false (response_ok r);
+      Alcotest.(check string) line cls (error_class r))
+    [
+      ("{\"op\":\"compress\"}", "bad-request");
+      ("{\"op\":\"compress\",\"network\":\"nope:1\"}", "bad-request");
+      ("{\"op\":\"compress\",\"network\":7}", "bad-request");
+      ("{\"op\":\"frobnicate\"}", "bad-request");
+      ("}{ not json", "bad-request");
+      ("{\"op\":\"diff\",\"network\":\"ring:4\"}", "bad-request");
+    ];
+  (* six garbage requests later, the engine still works *)
+  Alcotest.(check bool) "still alive" true
+    (response_ok (handle eng "{\"op\":\"health\"}"))
+
+let test_engine_shutdown_signal () =
+  let eng = engine () in
+  let resp, k = Serve_engine.handle_line eng ~queue_depth:0 "{\"op\":\"shutdown\"}" in
+  Alcotest.(check bool) "shutdown ok" true (response_ok resp);
+  Alcotest.(check bool) "signals shutdown" true
+    (match k with `Shutdown -> true | `Continue -> false)
+
+(* The crash-safety headline: warm state restored from a checkpoint
+   answers bit-identically to the cold computation that produced it. *)
+let test_engine_checkpoint_restore () =
+  with_tmp @@ fun path ->
+  let compress_line = "{\"op\":\"compress\",\"network\":\"ring:4\"}" in
+  let cold_eng = engine () in
+  let cold = handle cold_eng compress_line in
+  Alcotest.(check bool) "cold ok" true (response_ok cold);
+  (match Serve_engine.checkpoint cold_eng ~path with
+  | Ok n -> Alcotest.(check int) "one network saved" 1 n
+  | Error m -> Alcotest.failf "checkpoint: %s" m);
+  let warm_eng = engine () in
+  (match Serve_engine.restore warm_eng ~path with
+  | `Restored n -> Alcotest.(check int) "one network restored" 1 n
+  | `Cold m -> Alcotest.failf "restore went cold: %s" m
+  | `Missing -> Alcotest.fail "restore found nothing");
+  Alcotest.(check int) "registry warm before any request" 1
+    (Serve_engine.networks warm_eng);
+  let warm = handle warm_eng compress_line in
+  Alcotest.(check string) "warm == cold, byte-identical" cold warm;
+  (* the restored state must also keep *working* — recompress through it *)
+  let diff =
+    handle warm_eng "{\"op\":\"diff\",\"network\":\"ring:4\",\"to\":\"ring:6\"}"
+  in
+  Alcotest.(check bool) "restored state recompresses" true (response_ok diff)
+
+let test_engine_corrupt_checkpoint_cold () =
+  with_tmp @@ fun path ->
+  write_file path "definitely not a checkpoint";
+  let eng = engine () in
+  (match Serve_engine.restore eng ~path with
+  | `Cold _ -> ()
+  | `Restored _ -> Alcotest.fail "restored garbage"
+  | `Missing -> Alcotest.fail "file exists");
+  (* cold rebuild, not a crash: the engine serves anyway *)
+  Alcotest.(check bool) "serves cold" true
+    (response_ok (handle eng "{\"op\":\"compress\",\"network\":\"ring:4\"}"))
+
+let test_engine_lru_registry () =
+  let eng =
+    Serve_engine.create ~resolve ~max_networks:1 ()
+  in
+  ignore (handle eng "{\"op\":\"load\",\"network\":\"ring:4\"}");
+  Alcotest.(check int) "one network" 1 (Serve_engine.networks eng);
+  ignore (handle eng "{\"op\":\"load\",\"network\":\"ring:6\"}");
+  Alcotest.(check int) "still one network" 1 (Serve_engine.networks eng)
+
+(* --- fuzz: arbitrary bytes only ever produce typed responses ----------- *)
+
+(* Random bytes, biased toward JSON-looking shards so the parser gets
+   past the first token reasonably often. *)
+let arb_line =
+  QCheck.make
+    QCheck.Gen.(
+      frequency
+        [
+          (2, string_size ~gen:printable (int_range 0 200));
+          (1, string_size ~gen:char (int_range 0 200));
+          ( 2,
+            string_size
+              ~gen:(oneofl [ '{'; '}'; '"'; ':'; ','; 'a'; '0'; ' ' ])
+              (int_range 0 60) );
+          ( 2,
+            map2
+              (fun op k ->
+                Printf.sprintf "{\"op\":%S,\"network\":\"ring:4\",\"k\":%d}"
+                  op k)
+              (string_size ~gen:printable (int_range 0 10))
+              (int_range (-2) 20) );
+        ])
+
+let prop_total =
+  QCheck.Test.make ~count:fuzz_count ~name:"handle_line is total"
+    arb_line
+    (fun line ->
+      let eng = engine () in
+      match Serve_engine.handle_line eng ~queue_depth:0 line with
+      | resp, (`Continue | `Shutdown) -> (
+        match Json.parse resp with
+        | Ok r -> (
+          match Json.member "ok" r with
+          | Some (Json.Bool _) -> true
+          | _ -> QCheck.Test.fail_reportf "no ok field: %s" resp)
+        | Error m ->
+          QCheck.Test.fail_reportf "unparsable response %S: %s" resp m)
+      | exception e ->
+        QCheck.Test.fail_reportf "handle_line raised %s on %S"
+          (Printexc.to_string e) line)
+
+let prop_json_roundtrip =
+  let rec arb_json depth =
+    let open QCheck.Gen in
+    let str = string_size ~gen:printable (int_range 0 12) in
+    let raw = string_size ~gen:char (int_range 0 12) in
+    if depth = 0 then
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun i -> Json.Int i) (int_range (-100000) 100000);
+          map (fun s -> Json.String s) str;
+        ]
+    else
+      oneof
+        [
+          map
+            (fun l -> Json.List l)
+            (list_size (int_range 0 4) (arb_json (depth - 1)));
+          map
+            (fun kvs -> Json.Obj kvs)
+            (list_size (int_range 0 4) (pair str (arb_json (depth - 1))));
+          map (fun s -> Json.String s) raw;
+        ]
+  in
+  QCheck.Test.make ~count:fuzz_count ~name:"to_string/parse roundtrip"
+    (QCheck.make (arb_json 3))
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok v' -> Json.equal v v'
+      | Error m ->
+        QCheck.Test.fail_reportf "reparse of %s failed: %s" (Json.to_string v)
+          m)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_json_rejects;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse" `Quick test_protocol_parse;
+          Alcotest.test_case "exit codes" `Quick test_protocol_exit_codes;
+        ] );
+      ( "scheduler",
+        [ Alcotest.test_case "fifo and shed" `Quick test_scheduler_fifo_and_shed ] );
+      ( "sig-cache",
+        [ Alcotest.test_case "lru eviction" `Quick test_sig_cache_eviction ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "corruption guards" `Quick test_checkpoint_guards;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "budget isolation" `Quick
+            test_engine_budget_isolation;
+          Alcotest.test_case "typed errors" `Quick test_engine_typed_errors;
+          Alcotest.test_case "shutdown" `Quick test_engine_shutdown_signal;
+          Alcotest.test_case "checkpoint restore == cold" `Quick
+            test_engine_checkpoint_restore;
+          Alcotest.test_case "corrupt checkpoint goes cold" `Quick
+            test_engine_corrupt_checkpoint_cold;
+          Alcotest.test_case "registry lru" `Quick test_engine_lru_registry;
+        ] );
+      qsuite "fuzz" [ prop_total; prop_json_roundtrip ];
+    ]
