@@ -630,7 +630,8 @@ let serve_latency ~fixture =
   (match Serve_engine.restore eng' ~path:ckpt with
   | `Restored n when n = saved -> ()
   | `Restored n -> fail "serve bench: restored %d of %d networks" n saved
-  | `Cold reason -> fail "serve bench: cold restore: %s" reason
+  | `Version_skew reason | `Corrupt reason ->
+    fail "serve bench: cold restore: %s" reason
   | `Missing -> fail "serve bench: checkpoint vanished");
   let restored_resp = ref "" in
   let (), t_restored =
@@ -701,6 +702,95 @@ let serve_bench ?(k = 6) ?(n_requests = 200) ~json_path () =
   output_string oc doc;
   close_out oc;
   Printf.printf "wrote %s\n%!" json_path
+
+(* ------------------------------------------------------------------ *)
+(* Certification overhead (bonsai compress --certify)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* What --certify costs on top of compress: full compression of every
+   class, then the independent sample-audit check over a fresh BDD
+   universe — the exact work the CLI flag adds. The gate (CI passes
+   --assert-overhead 2.0) keeps certification cheap enough to leave on
+   by default. *)
+
+let certify_bench ?(k = 6) ~json_path ~assert_overhead () =
+  hr "Certification overhead (--audit sample)";
+  let fixtures =
+    [
+      ( Printf.sprintf "fattree:%d" k,
+        Synthesis.fattree_shortest_path (Generators.fattree ~k) );
+      ("wan", (Synthesis.wan ()).Synthesis.net);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, net) ->
+        let summary = ref None in
+        let (), t_compress =
+          Timing.time (fun () ->
+              match Bonsai_api.compress net with
+              | Ok s -> summary := Some s
+              | Error e ->
+                fail "certify bench: compress %s: %s" name
+                  (Format.asprintf "%a" Bonsai_error.pp e))
+        in
+        let s = match !summary with Some s -> s | None -> assert false in
+        let obligations = ref 0 in
+        let (), t_certify =
+          Timing.time (fun () ->
+              let universe = Policy_bdd.universe_of_network net in
+              List.iter
+                (fun r ->
+                  match
+                    Certify.check_result ~universe ~audit:Certify.Sample net r
+                  with
+                  | Certify.Certified _ as v ->
+                    obligations := !obligations + Certify.obligation_count v
+                  | v ->
+                    fail "certify bench: %s did not certify: %s" name
+                      (Format.asprintf "%a" Certify.pp_verdict v))
+                s.Bonsai_api.results)
+        in
+        let overhead = t_certify /. max 1e-9 t_compress in
+        Printf.printf
+          "%-12s compress %8.3fs   certify %8.3fs (%5d obligations)   \
+           overhead %.2fx\n\
+           %!"
+          name t_compress t_certify !obligations overhead;
+        (name, List.length s.Bonsai_api.results, !obligations, t_compress,
+         t_certify, overhead))
+      fixtures
+  in
+  let row_json (name, ecs, obligations, t_c, t_a, ov) =
+    Printf.sprintf
+      "    {\"fixture\": \"%s\", \"classes\": %d, \"obligations\": %d, \
+       \"compress_s\": %.6f, \"certify_s\": %.6f, \"overhead\": %.3f}"
+      name ecs obligations t_c t_a ov
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"audit\": \"sample\",\n\
+      \  \"fixtures\": [\n%s\n  ]\n\
+       }\n"
+      (String.concat ",\n" (List.map row_json rows))
+  in
+  let oc = open_out json_path in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  match assert_overhead with
+  | None -> ()
+  | Some max_ov ->
+    List.iter
+      (fun (name, _, _, _, _, ov) ->
+        if ov >= max_ov then begin
+          Printf.eprintf
+            "FAIL: %s certification overhead %.2fx is not under %.2fx\n" name
+            ov max_ov;
+          exit 1
+        end)
+      rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core kernels                        *)
@@ -788,9 +878,9 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench/main.exe \
-       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|incr|serve|micro|all] \
+       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|incr|serve|certify|micro|all] \
        [--timeout SECONDS] [--samples N] [--k K] [--deltas N] [--json FILE] \
-       [--assert-speedup MIN]";
+       [--assert-speedup MIN] [--assert-overhead MAX]";
     exit 2
   in
   let args = Array.to_list Sys.argv |> List.tl in
@@ -800,6 +890,7 @@ let () =
   let n_deltas = ref 10 in
   let json_path = ref "BENCH_incr.json" in
   let assert_speedup = ref None in
+  let assert_overhead = ref None in
   let rec parse cmds = function
     | [] -> List.rev cmds
     | "--timeout" :: v :: rest ->
@@ -826,6 +917,11 @@ let () =
     | "--assert-speedup" :: v :: rest ->
       (match float_of_string_opt v with
       | Some s -> assert_speedup := Some s
+      | None -> usage ());
+      parse cmds rest
+    | "--assert-overhead" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s -> assert_overhead := Some s
       | None -> usage ());
       parse cmds rest
     | "--help" :: _ | "-h" :: _ -> usage ()
@@ -856,6 +952,15 @@ let () =
         serve_bench
           ~k:(if !k = 8 then 6 else !k)
           ?n_requests:!samples ~json_path ()
+      | "certify" ->
+        let json_path =
+          if String.equal !json_path "BENCH_incr.json" then
+            "BENCH_certify.json"
+          else !json_path
+        in
+        certify_bench
+          ~k:(if !k = 8 then 6 else !k)
+          ~json_path ~assert_overhead:!assert_overhead ()
       | "micro" -> micro ()
       | "all" -> all ~timeout_s:!timeout_s ()
       | _ -> usage ())

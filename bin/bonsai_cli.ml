@@ -181,8 +181,42 @@ let check_result net (r : Bonsai_api.ec_result) =
     List.iter (Format.printf "  %a@." Check.pp_violation) vs;
     false
 
+(* --- certification ------------------------------------------------------ *)
+
+(* --certify: export the result as a certificate and re-check it with the
+   independent checker (lib/certify). Refuted is the one outcome
+   --degrade must never mask — a wrong answer escaping as exit 0 is
+   exactly what certification exists to prevent — so it raises the typed
+   Certificate_failure (exit 8) through [guarded]. Budget exhaustion
+   mid-audit is `Incomplete: a truthful "not certified", never a false
+   "certified". *)
+let write_certificate path cert =
+  Out_channel.with_open_bin path (fun oc ->
+      output_string oc (Json.to_string (Certify.to_json cert));
+      output_char oc '\n')
+
+let run_certify ~budget ~audit ~certificate net cert =
+  Option.iter (fun path -> write_certificate path cert) certificate;
+  match Certify.check ~budget ~audit net cert with
+  | Certify.Certified { ecs; obligations } ->
+    Printf.eprintf "certified: %d class%s, %d obligations (%s audit)\n%!" ecs
+      (if ecs = 1 then "" else "es")
+      obligations
+      (Certify.audit_to_string audit);
+    `Certified
+  | Certify.Audit_incomplete info ->
+    Printf.eprintf
+      "certification incomplete: audit budget ran out in %s (%d ticks, \
+       %.3fs)\n\
+       %!"
+      info.Budget.phase info.Budget.ticks info.Budget.elapsed_s;
+    `Incomplete
+  | Certify.Refuted fs ->
+    Bonsai_error.error
+      (Bonsai_error.Certificate_failure (Certify.failures_string fs))
+
 let compress_cmd_run spec ec_prefix dot all check format budget_ms
-    budget_ticks degrade =
+    budget_ticks degrade certify audit certificate =
   guarded @@ fun () ->
   let net = resolve_network spec in
   let budget = make_budget budget_ms budget_ticks in
@@ -248,10 +282,19 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
       Format.printf "  \"bdd\": %s@." bdd;
       Format.printf "}@.";
       report_budget ());
+    let cert_status =
+      if certify then
+        run_certify ~budget ~audit ~certificate net
+          (Certify.of_summary ~network:spec net s)
+      else `Skipped
+    in
     match (s.Bonsai_api.degradation, !checked_ok) with
     | Some _, _ -> degrade_exit 3
     | None, false -> degrade_exit 1
-    | None, true -> 0
+    | None, true -> (
+      match cert_status with
+      | `Incomplete -> degrade_exit 3
+      | `Certified | `Skipped -> 0)
   end
   else begin
     let ec = find_ec net ec_prefix in
@@ -371,8 +414,17 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
       Format.printf "}@.";
       Printf.eprintf "compression time: %.3fs\n%!" r.Bonsai_api.time_s);
     report_budget ();
+    let cert_status =
+      if certify then
+        run_certify ~budget ~audit ~certificate net
+          { Certify.network = spec; certs = [ Certify.of_ec_result net r ] }
+      else `Skipped
+    in
     match why with
-    | None -> 0
+    | None -> (
+      match cert_status with
+      | `Incomplete -> degrade_exit 3
+      | `Certified | `Skipped -> 0)
     | Some (`Budget _) -> degrade_exit 3
     | Some `Check -> degrade_exit 1
   end
@@ -382,29 +434,38 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
 (* Everything deterministic about an [Incr.report]; wall time is printed
    separately (stderr for diff, inline for watch events, which are not
    golden-tested). *)
-let report_json (rep : Incr.report) =
+let report_json ?(recert = false) (rep : Incr.report) =
   Printf.sprintf
     "\"classes\": %d, \"reused\": %d, \"seeded\": %d, \"scratch\": %d, \
-     \"full_rebuild\": %b, \"cache\": {\"hits\": %d, \"misses\": %d}, \
+     \"full_rebuild\": %b,%s \"cache\": {\"hits\": %d, \"misses\": %d}, \
      \"degradation\": %s"
     rep.Incr.r_ecs rep.Incr.r_reused rep.Incr.r_seeded rep.Incr.r_scratch
-    rep.Incr.r_full_rebuild rep.Incr.r_cache_hits rep.Incr.r_cache_misses
+    rep.Incr.r_full_rebuild
+    (if recert then
+       Printf.sprintf " \"recertified\": %d, \"recert_refuted\": %d,"
+         rep.Incr.r_recertified rep.Incr.r_recert_refuted
+     else "")
+    rep.Incr.r_cache_hits rep.Incr.r_cache_misses
     (degradation_json rep.Incr.r_degradation)
 
 let deltas_json deltas =
   String.concat "," (List.map (fun d -> json_string (Delta.to_string d)) deltas)
 
-let report_text (rep : Incr.report) =
+let report_text ?(recert = false) (rep : Incr.report) =
   Format.printf "classes: %d (%d reused, %d seeded, %d scratch)%s@."
     rep.Incr.r_ecs rep.Incr.r_reused rep.Incr.r_seeded rep.Incr.r_scratch
     (if rep.Incr.r_full_rebuild then " [full rebuild]" else "");
+  if recert then
+    Format.printf "re-certified: %d (%d refuted, recomputed from scratch)@."
+      rep.Incr.r_recertified rep.Incr.r_recert_refuted;
   Format.printf "signature cache: %d hits, %d misses@." rep.Incr.r_cache_hits
     rep.Incr.r_cache_misses;
   match rep.Incr.r_degradation with
   | None -> ()
   | Some d -> Format.printf "@[<v>%a@]@." Bonsai_api.pp_degradation d
 
-let diff_cmd_run old_spec new_spec format budget_ms budget_ticks degrade =
+let diff_cmd_run old_spec new_spec format budget_ms budget_ticks degrade
+    certify audit certificate =
   guarded @@ fun () ->
   let old_net = resolve_network old_spec in
   let new_net = resolve_network new_spec in
@@ -423,7 +484,11 @@ let diff_cmd_run old_spec new_spec format budget_ms budget_ticks degrade =
       | Error e -> Bonsai_error.error e
     in
     let rep =
-      match Incr.recompress ~budget st deltas with
+      match
+        Incr.recompress ~budget
+          ?recertify:(if certify then Some audit else None)
+          st deltas
+      with
       | Ok rep -> rep
       | Error e -> Bonsai_error.error e
     in
@@ -432,20 +497,31 @@ let diff_cmd_run old_spec new_spec format budget_ms budget_ticks degrade =
     | `Text ->
       Format.printf "deltas (%d):@." (List.length deltas);
       List.iter (fun d -> Format.printf "  - %a@." Delta.pp d) deltas;
-      report_text rep;
+      report_text ~recert:certify rep;
       Format.printf "bdd: %a@." Bdd.pp_stats bdd
     | `Json ->
       Format.printf "{@.";
       Format.printf "  \"identical\": false,@.";
       Format.printf "  \"deltas\": [%s],@." (deltas_json deltas);
-      Format.printf "  %s,@." (report_json rep);
+      Format.printf "  %s,@." (report_json ~recert:certify rep);
       Format.printf "  \"bdd\": %s@." (bdd_stats_json bdd);
       Format.printf "}@.");
     Printf.eprintf "diff: %d deltas recompressed in %.3fs\n%!"
       (List.length deltas) rep.Incr.r_time_s;
+    (* certify the maintained state the recompression actually produced —
+       the reuse ladder is part of what the certificate distrusts *)
+    let cert_status =
+      if certify then
+        run_certify ~budget ~audit ~certificate new_net
+          (Certify.of_summary ~network:new_spec new_net (Incr.summary st))
+      else `Skipped
+    in
     match rep.Incr.r_degradation with
     | Some _ when not degrade -> 3
-    | _ -> 1
+    | _ -> (
+      match cert_status with
+      | `Incomplete when not degrade -> 3
+      | _ -> 1)
   end
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
@@ -515,22 +591,18 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
        a file that stays broken — deleted, permission flip, an editor
        that crashed mid-save — must not make the watcher spin at the
        poll rate forever. Any successfully parsed snapshot resets the
-       backoff. *)
-    let failures = ref 0 in
-    let max_backoff_ms = 30_000 in
-    let sleep_ms () =
-      if !failures = 0 then poll_ms
-      else min max_backoff_ms (poll_ms * (1 lsl min !failures 16))
-    in
+       backoff. The policy itself lives in Backoff (lib/serve), where
+       the cap and the never-below-base invariant are unit-tested. *)
+    let bo = Backoff.create ~base_ms:poll_ms () in
     let note_failure () =
-      incr failures;
-      if sleep_ms () > poll_ms then
-        Printf.eprintf "watch: backing off to %dms after %d failure%s\n%!"
-          (sleep_ms ()) !failures
-          (if !failures = 1 then "" else "s")
+      let ms = Backoff.note_failure bo in
+      if ms > poll_ms then
+        Printf.eprintf "watch: backing off to %dms after %d failure%s\n%!" ms
+          (Backoff.failures bo)
+          (if Backoff.failures bo = 1 then "" else "s")
     in
     let rec loop () =
-      Unix.sleepf (float_of_int (sleep_ms ()) /. 1000.0);
+      Unix.sleepf (float_of_int (Backoff.sleep_ms bo) /. 1000.0);
       (match read () with
       | Error ds ->
         List.iter (fun (_, m) -> Printf.eprintf "watch: %s\n%!" m) ds;
@@ -542,16 +614,9 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
            sees the completed write. Only after the retry do we report
            and keep the previous network. *)
         let text, parsed =
-          match Config_text.parse_full text with
-          | Ok v -> (text, Ok v)
-          | Error ds0 -> (
-            Unix.sleepf 0.05;
-            match read () with
-            | Ok text' when not (String.equal text' text) -> (
-              match Config_text.parse_full text' with
-              | Ok v -> (text', Ok v)
-              | Error ds -> (text', Error ds))
-            | Ok _ | Error _ -> (text, Error ds0))
+          Backoff.parse_with_retry ~read ~parse:Config_text.parse_full
+            ~sleep:(fun () -> Unix.sleepf 0.05)
+            text
         in
         last := text;
         match parsed with
@@ -568,7 +633,7 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
             ds;
           note_failure ()
         | Ok (net', _) -> (
-          failures := 0;
+          Backoff.reset bo;
           match
             Incr.recompress_net ~budget:(make_budget budget_ms budget_ticks)
               st net'
@@ -959,7 +1024,7 @@ let faults_cmd_run spec ec_prefix k samples seed format budget_ms
 (* --- harden ------------------------------------------------------------ *)
 
 let harden_cmd_run spec ec_prefix k rounds frontier samples seed format
-    budget_ms budget_ticks degrade =
+    budget_ms budget_ticks degrade certify audit certificate =
   guarded @@ fun () ->
   let net = resolve_network spec in
   let budget = make_budget budget_ms budget_ticks in
@@ -1085,13 +1150,74 @@ let harden_cmd_run spec ec_prefix k rounds frontier samples seed format
       rn re;
     Format.printf "}@.");
   let degrade_exit code = if degrade then 0 else code in
+  (* certify the hardened abstraction itself — pins and repair rounds
+     change the partition, so the witness must come from the result *)
+  let cert_status =
+    if certify then
+      run_certify ~budget ~audit ~certificate net
+        {
+          Certify.network = spec;
+          certs = [ Certify.of_ec_result net r.Repair.result ];
+        }
+    else `Skipped
+  in
   match r.Repair.fallback with
   | Bonsai_api.Budget_fallback _ -> degrade_exit 3
   | Bonsai_api.Rounds_fallback ->
     degrade_exit (Bonsai_error.exit_code (Bonsai_error.Soundness_break ""))
   | Bonsai_api.No_fallback ->
-    if r.Repair.sound then 0
+    if r.Repair.sound then
+      match cert_status with
+      | `Incomplete -> degrade_exit 3
+      | `Certified | `Skipped -> 0
     else Bonsai_error.exit_code (Bonsai_error.Soundness_break "")
+
+(* --- certify (stored certificates) ------------------------------------- *)
+
+(* `bonsai certify NETWORK CERT` re-checks a stored certificate file
+   against the live configs. Everything that can go wrong with the file
+   itself — unreadable, unparsable, malformed, refuted — is the same
+   typed Certificate_failure (exit 8): a certificate that cannot be
+   validated must never pass for one that was. *)
+let certify_cmd_run spec cert_path audit budget_ms budget_ticks =
+  guarded @@ fun () ->
+  let net = resolve_network spec in
+  let budget = make_budget budget_ms budget_ticks in
+  let cert_failure fmt =
+    Format.kasprintf
+      (fun m -> Bonsai_error.error (Bonsai_error.Certificate_failure m))
+      fmt
+  in
+  let text =
+    try read_file cert_path
+    with Sys_error m -> cert_failure "unreadable certificate: %s" m
+  in
+  let cert =
+    match Json.parse text with
+    | Error m -> cert_failure "unparsable certificate: %s" m
+    | Ok j -> (
+      match Certify.of_json j with
+      | Error m -> cert_failure "malformed certificate: %s" m
+      | Ok c -> c)
+  in
+  match Certify.check ~budget ~audit net cert with
+  | Certify.Certified { ecs; obligations } ->
+    Format.printf "certified: %d class%s, %d obligations (%s audit)@." ecs
+      (if ecs = 1 then "" else "es")
+      obligations
+      (Certify.audit_to_string audit);
+    0
+  | Certify.Audit_incomplete info ->
+    Format.printf "audit incomplete: budget ran out in %s@."
+      info.Budget.phase;
+    3
+  | Certify.Refuted fs ->
+    List.iter
+      (fun (f : Certify.failure) ->
+        Format.printf "REFUTED %s: %s: %s@." f.Certify.f_prefix
+          f.Certify.f_condition f.Certify.f_detail)
+      fs;
+    cert_failure "%s" (Certify.failures_string fs)
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -1315,6 +1441,11 @@ let exits =
   :: Cmd.Exit.info 6 ~doc:"on solver divergence."
   :: Cmd.Exit.info 7
        ~doc:"on a soundness break (abstract and concrete disagree)."
+  :: Cmd.Exit.info 8
+       ~doc:
+         "on a certificate failure: the independent checker refuted a \
+          $(b,--certify) result or a stored certificate (never masked by \
+          $(b,--degrade))."
   :: Cmd.Exit.info 9 ~doc:"on internal errors."
   :: List.filter
        (fun i -> Cmd.Exit.info_code i <> Cmd.Exit.ok)
@@ -1370,6 +1501,38 @@ let info_cmd =
     (cmd_info "info" ~doc:"Describe a network")
     Term.(const info_cmd_run $ network_arg)
 
+let certify_flag =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Export the result as a certificate and re-validate it with the \
+           independent checker (fresh BDD universe, executable route-map \
+           semantics). A refuted certificate exits 8 — never masked by \
+           $(b,--degrade); an audit that runs out of budget is reported \
+           incomplete, never falsely certified.")
+
+let audit_arg =
+  Arg.(
+    value
+    & opt (enum [ ("full", Certify.Full); ("sample", Certify.Sample) ])
+        Certify.Sample
+    & info [ "audit" ] ~docv:"LEVEL"
+        ~doc:
+          "Audit granularity for certification: $(b,sample) (default) \
+           checks every condition but spot-checks per-member/per-edge \
+           agreement obligations; $(b,full) checks every member and every \
+           concrete edge.")
+
+let certificate_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "certificate" ] ~docv:"PATH"
+        ~doc:
+          "Write the certificate as JSON to $(docv) (checkable later with \
+           $(b,bonsai certify)).")
+
 let compress_cmd =
   let dot =
     Arg.(
@@ -1394,7 +1557,8 @@ let compress_cmd =
     (cmd_info "compress" ~doc:"Compress a network for one destination class")
     Term.(
       const compress_cmd_run $ network_arg $ ec_arg $ dot $ all $ check
-      $ format_arg $ budget_ms_arg $ budget_ticks_arg $ degrade_arg)
+      $ format_arg $ budget_ms_arg $ budget_ticks_arg $ degrade_arg
+      $ certify_flag $ audit_arg $ certificate_arg)
 
 let diff_cmd =
   let old_arg =
@@ -1421,7 +1585,8 @@ let diff_cmd =
           cache.")
     Term.(
       const diff_cmd_run $ old_arg $ new_arg $ format_arg $ budget_ms_arg
-      $ budget_ticks_arg $ degrade_arg)
+      $ budget_ticks_arg $ degrade_arg $ certify_flag $ audit_arg
+      $ certificate_arg)
 
 let watch_cmd =
   let path_arg =
@@ -1711,7 +1876,31 @@ let harden_cmd =
     Term.(
       const harden_cmd_run $ network_arg $ ec_arg $ k $ rounds $ frontier
       $ samples $ seed $ format $ budget_ms_arg $ budget_ticks_arg
-      $ degrade_arg)
+      $ degrade_arg $ certify_flag $ audit_arg $ certificate_arg)
+
+let certify_cmd =
+  let cert_path_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CERT"
+          ~doc:
+            "Certificate file (JSON written by $(b,--certificate)) to check \
+             against $(i,NETWORK).")
+  in
+  Cmd.v
+    (cmd_info "certify"
+       ~doc:
+         "Independently check a stored compression certificate against the \
+          live configuration: partition well-formedness, the paper's \
+          Figure-4 bisimulation conditions (dest equivalence, ∀∃, transfer \
+          and rank agreement) and stability of the claimed abstract \
+          labeling — in a fresh BDD universe, with a BDD-free route-map \
+          spot check. An unreadable, malformed, or refuted certificate \
+          exits 8.")
+    Term.(
+      const certify_cmd_run $ network_arg $ cert_path_arg $ audit_arg
+      $ budget_ms_arg $ budget_ticks_arg)
 
 let export_cmd =
   let path =
@@ -1896,4 +2085,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc ~exits)
-          [ info_cmd; compress_cmd; diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd; serve_cmd; request_cmd ]))
+          [ info_cmd; compress_cmd; certify_cmd; diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd; serve_cmd; request_cmd ]))

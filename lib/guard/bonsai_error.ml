@@ -4,6 +4,7 @@ type t =
   | Budget_exceeded of Budget.info
   | Divergence of string
   | Soundness_break of string
+  | Certificate_failure of string
   | Internal of string
 
 exception Error of t
@@ -16,6 +17,7 @@ let exit_code = function
   | Compile_error _ -> 5
   | Divergence _ -> 6
   | Soundness_break _ -> 7
+  | Certificate_failure _ -> 8
   | Internal _ -> 9
 
 let class_name = function
@@ -24,6 +26,7 @@ let class_name = function
   | Budget_exceeded _ -> "budget-exceeded"
   | Divergence _ -> "divergence"
   | Soundness_break _ -> "soundness-break"
+  | Certificate_failure _ -> "certificate-failure"
   | Internal _ -> "internal"
 
 let of_exn = function
@@ -55,6 +58,8 @@ let pp ppf = function
       (match note with None -> "" | Some n -> "; " ^ n)
   | Divergence msg -> Format.fprintf ppf "divergence: %s" msg
   | Soundness_break msg -> Format.fprintf ppf "soundness break: %s" msg
+  | Certificate_failure msg ->
+    Format.fprintf ppf "certificate failure: %s" msg
   | Internal msg -> Format.fprintf ppf "internal error: %s" msg
 
 let to_string e = Format.asprintf "@[<v>%a@]" pp e

@@ -23,6 +23,8 @@ type t =
           oscillation post-mortem) *)
   | Soundness_break of string
       (** an independent check contradicted the abstraction *)
+  | Certificate_failure of string
+      (** the independent certificate checker refuted an answer's witness *)
   | Internal of string  (** a bug: an unexpected exception, crash-proofed *)
 
 exception Error of t
@@ -32,9 +34,9 @@ val error : t -> 'a
 
 val exit_code : t -> int
 (** Stable CLI exit code per class: budget 3, parse 4, compile 5,
-    divergence 6, soundness 7, internal 9. (Exit codes 0, 1, 124, 125 keep
-    their usual meanings: success, failed check/lint, CLI misuse, internal
-    cmdliner error.) *)
+    divergence 6, soundness 7, certificate 8, internal 9. (Exit codes 0,
+    1, 124, 125 keep their usual meanings: success, failed check/lint,
+    CLI misuse, internal cmdliner error.) *)
 
 val class_name : t -> string
 (** Short class tag: ["parse-error"], ["budget-exceeded"], ... *)

@@ -16,6 +16,8 @@ type report = {
   r_seeded : int;
   r_scratch : int;
   r_full_rebuild : bool;
+  r_recertified : int;
+  r_recert_refuted : int;
   r_cache_hits : int;
   r_cache_misses : int;
   r_time_s : float;
@@ -288,7 +290,7 @@ let init ?(pinned = []) ?cache_cap ?(budget = Budget.infinite)
     cache_cap;
   }
 
-let recompress ?(budget = Budget.infinite) st deltas =
+let recompress ?(budget = Budget.infinite) ?recertify st deltas =
   Bonsai_error.protect @@ fun () ->
   let t0 = Timing.now () in
   let old_net = st.net in
@@ -318,6 +320,7 @@ let recompress ?(budget = Budget.infinite) st deltas =
     List.partition single_origin_ec (Ecs.compute net')
   in
   let reused = ref 0 and seeded = ref 0 and scratch = ref 0 in
+  let recertified = ref 0 and recert_refuted = ref 0 in
   let worker =
     if full then fun ec ->
       let r = compute_scratch ~cache ~pinned ~budget net' ec in
@@ -335,6 +338,33 @@ let recompress ?(budget = Budget.infinite) st deltas =
         (fun (r : Bonsai_api.ec_result) ->
           Hashtbl.replace old_by_prefix r.Bonsai_api.ec.Ecs.ec_prefix r)
         st.results;
+      (* the audit must not share BDD state with the engine under audit:
+         one fresh universe per recompression, built only if a reused or
+         seeded candidate actually reaches the checker *)
+      let audit_universe = lazy (Policy_bdd.universe_of_network net') in
+      let recert ec counter (r : Bonsai_api.ec_result) =
+        match recertify with
+        | None ->
+          incr counter;
+          r
+        | Some audit -> (
+          match
+            Certify.check_result ~budget
+              ~universe:(Lazy.force audit_universe) ~audit net' r
+          with
+          | Certify.Certified _ ->
+            incr counter;
+            incr recertified;
+            r
+          | Certify.Audit_incomplete _ ->
+            incr counter;
+            r
+          | Certify.Refuted _ ->
+            incr recert_refuted;
+            let r = compute_scratch ~cache ~pinned ~budget net' ec in
+            incr scratch;
+            r)
+      in
       fun ec ->
         match Hashtbl.find_opt old_by_prefix ec.Ecs.ec_prefix with
         | Some old_r
@@ -342,15 +372,13 @@ let recompress ?(budget = Budget.infinite) st deltas =
                && (not has_topo)
                && unchanged_ec ~old_net ~new_net:net' ~cache ~touched ec
                     old_r ->
-          incr reused;
-          old_r
+          recert ec reused old_r
         | Some old_r
           when (not old_r.Bonsai_api.degraded)
                && old_r.Bonsai_api.ec.Ecs.ec_origins = ec.Ecs.ec_origins
                && ec_seedable ~prefs_trivial net' ec ->
-          let r = seeded_compress ~cache ~pinned ~budget net' ec old_r in
-          incr seeded;
-          r
+          recert ec seeded
+            (seeded_compress ~cache ~pinned ~budget net' ec old_r)
         | _ ->
           let r = compute_scratch ~cache ~pinned ~budget net' ec in
           incr scratch;
@@ -372,15 +400,17 @@ let recompress ?(budget = Budget.infinite) st deltas =
     r_seeded = !seeded;
     r_scratch = !scratch;
     r_full_rebuild = full;
+    r_recertified = !recertified;
+    r_recert_refuted = !recert_refuted;
     r_cache_hits = hits1 - hits0;
     r_cache_misses = misses1 - misses0;
     r_time_s = Timing.now () -. t0;
     r_degradation = degradation;
   }
 
-let recompress_net ?budget st net' =
+let recompress_net ?budget ?recertify st net' =
   let deltas = Delta.diff st.net net' in
-  match recompress ?budget st deltas with
+  match recompress ?budget ?recertify st deltas with
   | Ok r -> Ok (deltas, r)
   | Error e -> Error e
 
@@ -423,6 +453,9 @@ let pp_report ppf r =
     r.r_deltas r.r_ecs r.r_reused r.r_seeded r.r_scratch
     (if r.r_full_rebuild then " [full rebuild]" else "")
     r.r_cache_hits r.r_cache_misses r.r_time_s;
+  if r.r_recertified > 0 || r.r_recert_refuted > 0 then
+    Format.fprintf ppf "@,re-certified: %d (%d refuted, recomputed)"
+      r.r_recertified r.r_recert_refuted;
   match r.r_degradation with
   | None -> ()
   | Some d -> Format.fprintf ppf "@,%a" Bonsai_api.pp_degradation d

@@ -44,6 +44,12 @@ type report = {
   r_full_rebuild : bool;
       (** node set or attribute universe changed: cache rebuilt, every
           class recomputed *)
+  r_recertified : int;
+      (** reused/seeded results independently re-certified
+          ({!Certify.check_result} in a fresh universe) *)
+  r_recert_refuted : int;
+      (** reused/seeded candidates whose certificate was refuted — each
+          was discarded and recomputed from scratch (counted there) *)
   r_cache_hits : int;  (** {!Sig_cache} hits during this recompression *)
   r_cache_misses : int;
   r_time_s : float;  (** wall-clock for the whole recompression *)
@@ -65,16 +71,26 @@ val init :
 
 val recompress :
   ?budget:Budget.t ->
+  ?recertify:Certify.audit ->
   state ->
   Delta.t list ->
   (report, Bonsai_error.t) result
 (** Apply the deltas and update every class's abstraction. The state is
     mutated only on success; on [Error] it still describes the previous
     network. An invalid delta (unknown router, duplicate link, ...) or a
-    post-change network failing [Device.validate] is a [Compile_error]. *)
+    post-change network failing [Device.validate] is a [Compile_error].
+
+    [recertify] audits every reused and seeded result with
+    {!Certify.check_result} against a fresh BDD universe before trusting
+    it: a refuted candidate is thrown away and that class recomputes from
+    scratch (the reuse ladder can be wrong only through engine bugs or a
+    corrupted cache — never silently). [Audit_incomplete] (budget ran
+    out mid-audit) keeps the candidate but does not count it as
+    re-certified. *)
 
 val recompress_net :
   ?budget:Budget.t ->
+  ?recertify:Certify.audit ->
   state ->
   Device.network ->
   (Delta.t list * report, Bonsai_error.t) result

@@ -1,0 +1,29 @@
+type t = { base_ms : int; cap_ms : int; mutable failures : int }
+
+let create ?(cap_ms = 30_000) ~base_ms () =
+  if base_ms < 1 then invalid_arg "Backoff.create: base_ms < 1";
+  { base_ms; cap_ms = max cap_ms base_ms; failures = 0 }
+
+let failures t = t.failures
+
+(* the exponent clamp (16) keeps the shift well-defined for any streak
+   length; the cap then bounds the result, and the failures = 0 arm
+   guarantees sleep_ms >= base_ms always *)
+let sleep_ms t =
+  if t.failures = 0 then t.base_ms
+  else min t.cap_ms (t.base_ms * (1 lsl min t.failures 16))
+
+let note_failure t =
+  t.failures <- t.failures + 1;
+  sleep_ms t
+
+let reset t = t.failures <- 0
+
+let parse_with_retry ~read ~parse ~sleep text =
+  match parse text with
+  | Ok v -> (text, Ok v)
+  | Error e0 -> (
+    sleep ();
+    match read () with
+    | Ok text' when not (String.equal text' text) -> (text', parse text')
+    | Ok _ | Error _ -> (text, Error e0))

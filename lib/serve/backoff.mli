@@ -1,0 +1,43 @@
+(** Retry pacing for pollers, extracted from [bonsai watch] so the
+    policy is unit-testable: exponential backoff under consecutive
+    failures (capped), plus the one-shot mid-write re-read used when a
+    snapshot was caught half-written.
+
+    The invariant the watcher relies on: {!sleep_ms} is never below
+    [base_ms], whatever the failure count — a file that stays broken
+    (deleted, permission flip, an editor that died mid-save) slows the
+    poll down, it can never speed it up into a busy loop. *)
+
+type t
+
+val create : ?cap_ms:int -> base_ms:int -> unit -> t
+(** [cap_ms] defaults to 30_000 and is clamped to at least [base_ms].
+    Raises [Invalid_argument] if [base_ms < 1]. *)
+
+val sleep_ms : t -> int
+(** [base_ms] while healthy; after [n] consecutive failures,
+    [min cap_ms (base_ms * 2^min(n,16))]. The exponent clamp keeps the
+    shift well-defined for any failure count. *)
+
+val note_failure : t -> int
+(** Record one more consecutive failure; returns the new {!sleep_ms}. *)
+
+val reset : t -> unit
+(** A successfully parsed snapshot ends the failure streak. *)
+
+val failures : t -> int
+
+val parse_with_retry :
+  read:(unit -> (string, 'r) result) ->
+  parse:(string -> ('a, 'e) result) ->
+  sleep:(unit -> unit) ->
+  string ->
+  string * ('a, 'e) result
+(** Parse a freshly read snapshot. On failure, [sleep] once (a
+    truncate-then-write or rsync replace shows up as an empty or
+    half-written file), re-[read], and re-parse {e only if the bytes
+    actually changed} — an unchanged snapshot keeps the {e first}
+    error rather than burning a second parse on identical input, and a
+    failed re-read also keeps the first error. Returns the text
+    settled on (so the caller's change detection stays consistent)
+    and the outcome. *)

@@ -104,6 +104,8 @@ let exit_code_of_class = function
   | "divergence" -> Bonsai_error.exit_code (Bonsai_error.Divergence "")
   | "soundness-break" ->
     Bonsai_error.exit_code (Bonsai_error.Soundness_break "")
+  | "certificate-failure" ->
+    Bonsai_error.exit_code (Bonsai_error.Certificate_failure "")
   | "bad-request" -> 124
   | "overloaded" -> 11
   | _ -> Bonsai_error.exit_code (Bonsai_error.Internal "")

@@ -38,6 +38,14 @@ type t = {
   mutable n_net_evictions : int;
   mutable n_checkpoints : int;
   mutable restored : bool;
+  mutable checkpoint_status : string;
+      (* "none" | "restored" | "missing" | "version-skew" | "corrupt" *)
+  mutable n_incidents : int;
+  mutable audit_cursor : int;  (* round-robin position of the self-audit *)
+  mutable audit_dirty : bool;  (* warm state changed since the last full
+                                  self-audit cycle *)
+  mutable pending_incidents : (string * string) list;
+      (* quarantines not yet drained by the server loop (spec, detail) *)
 }
 
 let create ~resolve ?budget_ms ?budget_ticks ?cache_cap ?(max_networks = 8) ()
@@ -60,6 +68,11 @@ let create ~resolve ?budget_ms ?budget_ticks ?cache_cap ?(max_networks = 8) ()
     n_net_evictions = 0;
     n_checkpoints = 0;
     restored = false;
+    checkpoint_status = "none";
+    n_incidents = 0;
+    audit_cursor = 0;
+    audit_dirty = false;
+    pending_incidents = [];
   }
 
 let note_shed t = t.n_shed <- t.n_shed + 1
@@ -91,7 +104,8 @@ let admit t spec st =
   if Hashtbl.length t.registry >= t.max_networks then evict_lru t;
   let en = { en_spec = spec; en_state = st; en_stamp = 0 } in
   touch t en;
-  Hashtbl.replace t.registry spec en
+  Hashtbl.replace t.registry spec en;
+  t.audit_dirty <- true
 
 type warmth = Warm | Cold_cached | Cold_transient
 
@@ -269,10 +283,20 @@ let diff_op t req =
   let to_spec = Protocol.require_string req "to" in
   let st, _ = get_state t ~budget spec in
   let net' = t.resolve to_spec in
-  match Incr.recompress_net ~budget st net' with
+  let recertify =
+    match Protocol.string_param req "recertify" with
+    | None -> None
+    | Some s -> (
+      match Certify.audit_of_string s with
+      | Some a -> Some a
+      | None -> Format.kasprintf failwith "bad recertify level %S" s)
+  in
+  match Incr.recompress_net ~budget ?recertify st net' with
   | Error e -> Bonsai_error.error e
   | Ok (deltas, rep) ->
     check_degradation req rep.Incr.r_degradation;
+    (* the warm state just changed; the idle self-audit should revisit *)
+    t.audit_dirty <- true;
     [
       ("network", Json.String spec);
       ("to", Json.String to_spec);
@@ -285,6 +309,14 @@ let diff_op t req =
       ( "degraded",
         Json.Bool (Option.is_some rep.Incr.r_degradation) );
     ]
+    @
+    match recertify with
+    | None -> []
+    | Some _ ->
+      [
+        ("recertified", Json.Int rep.Incr.r_recertified);
+        ("recert_refuted", Json.Int rep.Incr.r_recert_refuted);
+      ]
 
 let faults_op t req =
   let budget = request_budget t req in
@@ -368,6 +400,201 @@ let harden_op t req =
         Json.Int (Graph.n_links abstraction.Abstraction.abs_graph) );
     ]
 
+(* --- self-audit -------------------------------------------------------- *)
+
+(* The warm state an entry answers from is exactly what the self-audit
+   must distrust: a cache poisoned by an engine bug, a bad reuse
+   decision, or checkpoint bytes. Re-export each class's certificate
+   from the registry's own [Incr.state] and check it independently in a
+   fresh BDD universe ([Certify.check_result] — the emission itself is
+   exception-proof, a state too broken to export a witness is refuted). *)
+let audit_entry ~budget ~audit (en : entry) =
+  try
+    let net = Incr.network en.en_state in
+    let summary = Incr.summary en.en_state in
+    let universe = Policy_bdd.universe_of_network net in
+    let rec go obligations = function
+      | [] ->
+        Certify.Certified
+          { ecs = List.length summary.Bonsai_api.results; obligations }
+      | r :: rest -> (
+        match Certify.check_result ~budget ~universe ~audit net r with
+        | Certify.Certified { obligations = o; _ } ->
+          go (obligations + o) rest
+        | (Certify.Refuted _ | Certify.Audit_incomplete _) as v -> v)
+    in
+    go 0 summary.Bonsai_api.results
+  with Budget.Exhausted info -> Certify.Audit_incomplete info
+
+let push_incident t spec detail =
+  t.n_incidents <- t.n_incidents + 1;
+  t.pending_incidents <- (spec, detail) :: t.pending_incidents
+
+(* A refuted warm entry never answers again: out of the registry (the
+   caller also rewrites the checkpoint so the corruption cannot be
+   resurrected), incident queued for the server loop's structured log.
+   The next request for that spec rebuilds cold from the configs. *)
+let quarantine t spec detail =
+  Hashtbl.remove t.registry spec;
+  push_incident t spec detail
+
+let drain_incidents t =
+  let xs = List.rev t.pending_incidents in
+  t.pending_incidents <- [];
+  xs
+
+let audit_pending t = t.audit_dirty && Hashtbl.length t.registry > 0
+
+type audit_outcome =
+  | Audit_idle
+  | Audit_clean of string
+  | Audit_unfinished of string
+  | Audit_quarantined of string * string
+
+let sorted_specs t =
+  Hashtbl.fold (fun spec _ acc -> spec :: acc) t.registry []
+  |> List.sort String.compare
+
+let audit_step ?(budget = Budget.infinite) t =
+  match sorted_specs t with
+  | [] ->
+    t.audit_dirty <- false;
+    Audit_idle
+  | specs -> (
+    let n = List.length specs in
+    let i = t.audit_cursor mod n in
+    let spec = List.nth specs i in
+    if i + 1 >= n then begin
+      t.audit_cursor <- 0;
+      t.audit_dirty <- false
+    end
+    else t.audit_cursor <- i + 1;
+    match Hashtbl.find_opt t.registry spec with
+    | None -> Audit_idle
+    | Some en -> (
+      match audit_entry ~budget ~audit:Certify.Sample en with
+      | Certify.Certified _ -> Audit_clean spec
+      | Certify.Audit_incomplete _ ->
+        (* ran out mid-cycle: stay dirty so the next idle moment retries *)
+        t.audit_dirty <- true;
+        Audit_unfinished spec
+      | Certify.Refuted fs ->
+        let detail = Certify.failures_string fs in
+        quarantine t spec detail;
+        Audit_quarantined (spec, detail)))
+
+let audit_op t req =
+  let budget = request_budget t req in
+  let audit =
+    match Protocol.string_param req "audit" with
+    | None -> Certify.Sample
+    | Some s -> (
+      match Certify.audit_of_string s with
+      | Some a -> a
+      | None -> Format.kasprintf failwith "bad audit level %S" s)
+  in
+  let specs =
+    match Protocol.string_param req "network" with
+    | Some spec -> if Hashtbl.mem t.registry spec then [ spec ] else []
+    | None -> sorted_specs t
+  in
+  let rows, quarantined =
+    List.fold_left
+      (fun (rows, q) spec ->
+        match Hashtbl.find_opt t.registry spec with
+        | None -> (rows, q)
+        | Some en -> (
+          match audit_entry ~budget ~audit en with
+          | Certify.Certified { obligations; _ } ->
+            ( Json.Obj
+                [
+                  ("network", Json.String spec);
+                  ("verdict", Json.String "certified");
+                  ("obligations", Json.Int obligations);
+                ]
+              :: rows,
+              q )
+          | Certify.Audit_incomplete _ ->
+            ( Json.Obj
+                [
+                  ("network", Json.String spec);
+                  ("verdict", Json.String "incomplete");
+                ]
+              :: rows,
+              q )
+          | Certify.Refuted fs ->
+            let detail = Certify.failures_string fs in
+            quarantine t spec detail;
+            ( Json.Obj
+                [
+                  ("network", Json.String spec);
+                  ("verdict", Json.String "refuted");
+                  ("detail", Json.String detail);
+                ]
+              :: rows,
+              spec :: q )))
+      ([], []) specs
+  in
+  [
+    ("audited", Json.List (List.rev rows));
+    ( "quarantined",
+      Json.List (List.map (fun s -> Json.String s) (List.rev quarantined)) );
+    ("incidents", Json.Int t.n_incidents);
+  ]
+
+(* Test-only fault injection, enabled by BONSAI_TEST_HOOKS=1: silently
+   corrupt one warm abstraction in place — move the largest member of a
+   multi-member group into an earlier group (whose least member is
+   smaller, so the canonical first-occurrence numbering survives and
+   the corruption is invisible to shape checks). The abstract graph is
+   left stale, which is precisely the wrong-answer state the self-audit
+   exists to catch; the chaos suite drives this op and asserts the
+   quarantine-and-rebuild path. *)
+let test_hooks_enabled () =
+  match Sys.getenv_opt "BONSAI_TEST_HOOKS" with
+  | Some "1" -> true
+  | _ -> false
+
+let test_corrupt_op t req =
+  let spec = network_param req in
+  match Hashtbl.find_opt t.registry spec with
+  | None -> failwith "network not warm"
+  | Some en ->
+    let corrupt_result (r : Bonsai_api.ec_result) =
+      let a = r.Bonsai_api.abstraction in
+      let groups = a.Abstraction.groups in
+      let n_groups = Array.length groups in
+      let move m ~from ~into =
+        groups.(from) <- List.filter (fun x -> x <> m) groups.(from);
+        groups.(into) <- List.sort compare (m :: groups.(into));
+        a.Abstraction.group_of.(m) <- into
+      in
+      let rec find g1 =
+        if g1 >= n_groups then false
+        else
+          match groups.(g1) with
+          | _ :: _ :: _ -> (
+            let m = List.fold_left max (-1) groups.(g1) in
+            let rec target g2 =
+              if g2 >= n_groups then None
+              else if g2 <> g1 && List.hd groups.(g2) < m then Some g2
+              else target (g2 + 1)
+            in
+            match target 0 with
+            | Some g2 ->
+              move m ~from:g1 ~into:g2;
+              true
+            | None -> find (g1 + 1))
+          | _ -> find (g1 + 1)
+      in
+      find 0
+    in
+    let corrupted =
+      List.exists corrupt_result (Incr.summary en.en_state).Bonsai_api.results
+    in
+    if not corrupted then failwith "no multi-member group to corrupt";
+    [ ("network", Json.String spec); ("corrupted", Json.Bool true) ]
+
 let load_op t req =
   let budget = request_budget t req in
   let spec = network_param req in
@@ -425,6 +652,8 @@ let stats_op t ~queue_depth =
     ("network_evictions", Json.Int t.n_net_evictions);
     ("checkpoints_saved", Json.Int t.n_checkpoints);
     ("restored_from_checkpoint", Json.Bool t.restored);
+    ("checkpoint", Json.String t.checkpoint_status);
+    ("incidents", Json.Int t.n_incidents);
   ]
 
 (* --- dispatch --------------------------------------------------------- *)
@@ -439,6 +668,9 @@ let dispatch t ~queue_depth (req : Protocol.request) =
   | "harden" -> (harden_op t req, `Continue)
   | "load" -> (load_op t req, `Continue)
   | "unload" -> (unload_op t req, `Continue)
+  | "audit" -> (audit_op t req, `Continue)
+  | "test-corrupt" when test_hooks_enabled () ->
+    (test_corrupt_op t req, `Continue)
   | "health" -> (health_op t ~queue_depth, `Continue)
   | "stats" -> (stats_op t ~queue_depth, `Continue)
   | "shutdown" -> ([ ("stopping", Json.Bool true) ], `Shutdown)
@@ -499,6 +731,18 @@ let restore t ~path =
         admit t spec st)
       rows;
     t.restored <- true;
+    t.checkpoint_status <- "restored";
+    (* checkpoint bytes are outside the trust boundary (DESIGN.md §15):
+       the digest catches torn writes, not a buggy or hostile writer —
+       schedule a self-audit cycle over everything we just adopted *)
+    t.audit_dirty <- true;
     `Restored (List.length rows)
-  | Error Checkpoint.Missing -> `Missing
-  | Error e -> `Cold (Format.asprintf "%a" Checkpoint.pp_load_error e)
+  | Error Checkpoint.Missing ->
+    t.checkpoint_status <- "missing";
+    `Missing
+  | Error (Checkpoint.Version_skew m) ->
+    t.checkpoint_status <- "version-skew";
+    `Version_skew m
+  | Error (Checkpoint.Corrupt m) ->
+    t.checkpoint_status <- "corrupt";
+    `Corrupt m

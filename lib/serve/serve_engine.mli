@@ -9,9 +9,22 @@
     nothing a client sends can crash the engine.
 
     Ops: [compress], [lint], [flow], [diff], [faults], [harden],
-    [load], [unload], [health], [stats], [shutdown]. Responses that
-    acceptance tests diff byte-for-byte (compress in particular) carry
-    no wall-clock or cache counters; those live in [stats] only. *)
+    [load], [unload], [audit], [health], [stats], [shutdown]. Responses
+    that acceptance tests diff byte-for-byte (compress in particular)
+    carry no wall-clock or cache counters; those live in [stats] only.
+
+    Self-audit: warm answers come from cached state — an engine bug, a
+    bad incremental-reuse decision or adopted checkpoint bytes could
+    make every later answer for that network wrong. The [audit] op (and
+    the background {!audit_step} the server loop runs while idle)
+    re-exports each warm class's certificate and re-checks it with
+    {!Certify.check_result} in a fresh BDD universe; a refuted network
+    is {e quarantined} — evicted from the registry, an incident queued
+    for {!drain_incidents}, the next request rebuilds cold from the
+    configs. A failed audit can therefore cost latency, never a wrong
+    answer. [test-corrupt] (only with [BONSAI_TEST_HOOKS=1] in the
+    environment) corrupts a warm abstraction in place so the chaos
+    suite can prove exactly that. *)
 
 type t
 
@@ -45,13 +58,43 @@ val note_shed : t -> unit
 val networks : t -> int
 val requests : t -> int
 
+type audit_outcome =
+  | Audit_idle  (** nothing warm to audit *)
+  | Audit_clean of string  (** network audited, certificate held *)
+  | Audit_unfinished of string
+      (** audit budget ran out mid-network — retried at the next idle
+          moment, never reported clean *)
+  | Audit_quarantined of string * string
+      (** (network, detail): certificate refuted; entry evicted *)
+
+val audit_step : ?budget:Budget.t -> t -> audit_outcome
+(** Audit the next warm network in round-robin order ([Sample]
+    granularity). The server loop calls this while idle whenever
+    {!audit_pending}. *)
+
+val audit_pending : t -> bool
+(** Warm state changed (admit, diff, restore) since the last complete
+    self-audit cycle. *)
+
+val drain_incidents : t -> (string * string) list
+(** Quarantine incidents ((network, detail), oldest first) not yet
+    collected — the server loop logs each as a structured incident line
+    and rewrites the checkpoint so the corrupt state cannot return. *)
+
 val checkpoint : t -> path:string -> (int, string) result
 (** Atomically persist every registered network's warm state; returns
     how many were saved. *)
 
 val restore :
-  t -> path:string -> [ `Restored of int | `Cold of string | `Missing ]
+  t ->
+  path:string ->
+  [ `Restored of int
+  | `Missing
+  | `Version_skew of string
+  | `Corrupt of string ]
 (** Load a checkpoint written by {!checkpoint}, re-arming each state's
-    transient handles. Corruption or version skew degrades to
-    [`Cold reason] — the caller logs it and serves cold; never an
-    exception. *)
+    transient handles and scheduling a self-audit cycle over the
+    adopted entries. Failures degrade to a cold start, distinguished so
+    the caller can log them apart: [`Missing] (no file),
+    [`Version_skew] (format or build mismatch), [`Corrupt] (bad magic,
+    torn write, digest mismatch). Never an exception. *)

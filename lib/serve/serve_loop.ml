@@ -59,6 +59,32 @@ let final_checkpoint sv =
     | Ok n -> log "checkpointed %d network%s" n (if n = 1 then "" else "s")
     | Error m -> log "checkpoint failed: %s" m)
 
+(* Every quarantine becomes one structured incident line on stderr, and
+   the checkpoint is rewritten immediately: the quarantined entry must
+   be gone from disk before a crash could resurrect it. *)
+let flush_incidents sv =
+  match Serve_engine.drain_incidents sv.eng with
+  | [] -> ()
+  | incidents ->
+    List.iter
+      (fun (spec, detail) ->
+        log "%s"
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("event", Json.String "certificate-incident");
+                  ("network", Json.String spec);
+                  ("action", Json.String "quarantined");
+                  ("detail", Json.String detail);
+                ])))
+      incidents;
+    (match sv.checkpoint_path with
+    | None -> ()
+    | Some path -> (
+      match Serve_engine.checkpoint sv.eng ~path with
+      | Ok _ -> ()
+      | Error m -> log "checkpoint failed: %s" m))
+
 let ingest sv out line =
   if String.length line = 0 then ()
   else
@@ -94,6 +120,7 @@ let step sv =
     in
     job.j_out resp;
     (match k with `Shutdown -> sv.stop <- true | `Continue -> ());
+    flush_incidents sv;
     maybe_checkpoint sv;
     true
 
@@ -254,13 +281,37 @@ let run_socket sv sock_addr cleanup =
     if sv.stop then ()
     else begin
       let fds = listener :: List.map (fun c -> c.c_fd) !conns in
-      (* block only when idle; with queued work just poll for new input *)
-      let timeout = if Scheduler.depth sv.sched = 0 then -1.0 else 0.0 in
+      (* block only when idle; with queued work just poll for new input;
+         with a pending self-audit, wake shortly to run one step *)
+      let timeout =
+        if Scheduler.depth sv.sched > 0 then 0.0
+        else if Serve_engine.audit_pending sv.eng then 0.05
+        else -1.0
+      in
       let readable =
         match Unix.select fds [] [] timeout with
         | r, _, _ -> r
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
       in
+      (* idle and nothing arrived: spend the moment self-auditing one
+         warm network under a small budget *)
+      if
+        readable = []
+        && Scheduler.depth sv.sched = 0
+        && Serve_engine.audit_pending sv.eng
+      then begin
+        (match
+           Serve_engine.audit_step
+             ~budget:(Budget.create ~deadline_s:0.25 ())
+             sv.eng
+         with
+        | Serve_engine.Audit_quarantined (spec, _) ->
+          log "self-audit quarantined %s" spec
+        | Serve_engine.Audit_idle | Serve_engine.Audit_clean _
+        | Serve_engine.Audit_unfinished _ ->
+          ());
+        flush_incidents sv
+      end;
       if List.memq listener readable then begin
         match Unix.accept listener with
         | fd, _ ->
@@ -308,7 +359,8 @@ let run ~engine ~listen ?(max_inflight = 16) ?(drain_ms = 2000)
     | `Restored n ->
       log "restored %d network%s from checkpoint" n (if n = 1 then "" else "s")
     | `Missing -> ()
-    | `Cold reason -> log "cold start: %s" reason));
+    | `Version_skew reason -> log "cold start: checkpoint version skew: %s" reason
+    | `Corrupt reason -> log "cold start: corrupt checkpoint: %s" reason));
   (* preload after restore: specs already warm from the checkpoint are a
      registry hit, everything else compresses now instead of on the
      first request. Responses go to stderr — no client asked. *)

@@ -9,6 +9,15 @@
 #   4. kill -9: the periodic checkpoint (--checkpoint-every 1) survives
 #      and the restart restores every loaded network
 #   5. corrupt checkpoint: cold rebuild with a warning, never a crash
+#   6. torn checkpoint: truncation at random offsets must yield a clean
+#      restore-or-cold start on every offset, never a crash
+#   7. kill -9 racing the periodic checkpoint writer: whatever half-file
+#      the kill leaves behind, the restart starts cleanly
+#   8. certificates: a corrupted certificate is refused with exit 8 and
+#      REFUTED details; truncation is refused as unparsable
+#   9. serve self-audit: a corrupted warm abstraction is refuted,
+#      quarantined with a structured incident, and the next answer comes
+#      from a cold rebuild, byte-identical to the honest one
 #
 # Every request must produce exactly one typed JSON response — any
 # empty read, connection error, or unexpected exit code fails the soak.
@@ -23,6 +32,12 @@ SRV=
 fail() {
   echo "serve_soak FAIL: $*" >&2
   [ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null
+  # keep server logs and incident records for the CI artifact upload
+  if [ -n "${SOAK_KEEP_DIR:-}" ]; then
+    mkdir -p "$SOAK_KEEP_DIR"
+    cp -r "$DIR"/. "$SOAK_KEEP_DIR"/ 2>/dev/null
+    echo "serve_soak: scratch state kept in $SOAK_KEEP_DIR" >&2
+  fi
   exit 1
 }
 cleanup() {
@@ -134,5 +149,138 @@ wait "$SRV"
 code=$?
 [ "$code" -eq 0 ] || fail "exit after corrupt-checkpoint start was $code"
 SRV=
+
+echo "== phase 6: torn checkpoints (random truncation offsets) =="
+# regenerate a real checkpoint to tear
+start_server "$DIR/s5.log" --checkpoint-every 1
+req 0 "$DIR/r.json" load --network ring:6
+req 0 "$DIR/r.json" compress --network ring:6
+req 0 "$DIR/r.json" shutdown
+wait "$SRV"
+SRV=
+[ -f "$CKPT" ] || fail "no checkpoint to tear"
+cp "$CKPT" "$DIR/good.ckpt"
+size=$(wc -c <"$DIR/good.ckpt")
+for i in 1 2 3 4; do
+  cut=$((RANDOM % size))
+  head -c "$cut" "$DIR/good.ckpt" >"$CKPT"
+  start_server "$DIR/s6-$i.log"
+  grep -Eq "restored|cold start" "$DIR/s6-$i.log" ||
+    fail "torn checkpoint (cut=$cut/$size) neither restored nor cold:\
+ $(cat "$DIR/s6-$i.log")"
+  req 0 "$DIR/torn.json" compress --network ring:6
+  cmp -s "$DIR/cold.json" "$DIR/torn.json" ||
+    fail "answer after torn checkpoint (cut=$cut) differs from cold"
+  req 0 "$DIR/r.json" shutdown
+  wait "$SRV"
+  code=$?
+  [ "$code" -eq 0 ] || fail "torn-checkpoint run (cut=$cut) exited $code"
+  SRV=
+done
+
+echo "== phase 7: kill -9 racing the checkpoint writer =="
+for i in 1 2 3; do
+  rm -f "$CKPT"
+  start_server "$DIR/s7-$i.log" --checkpoint-every 1
+  # hammer ops that each trigger a post-response checkpoint write, then
+  # kill -9 at an arbitrary point in the stream
+  (
+    while :; do
+      "$BIN" request --socket "$SOCK" load --network ring:4 \
+        >/dev/null 2>&1 || exit 0
+      "$BIN" request --socket "$SOCK" load --network mesh:4 \
+        >/dev/null 2>&1 || exit 0
+    done
+  ) &
+  HAMMER=$!
+  sleep 0.$((2 + RANDOM % 5))
+  kill -9 "$SRV"
+  wait "$SRV" 2>/dev/null
+  SRV=
+  kill "$HAMMER" 2>/dev/null
+  wait "$HAMMER" 2>/dev/null
+  # whatever state the kill left the checkpoint file in, the restart
+  # must come up clean and answer correctly (a missing file — killed
+  # before the first atomic write — starts cold with no log line)
+  had_ckpt=0
+  [ -f "$CKPT" ] && had_ckpt=1
+  start_server "$DIR/s7r-$i.log"
+  if [ "$had_ckpt" -eq 1 ]; then
+    grep -Eq "restored|cold start" "$DIR/s7r-$i.log" ||
+      fail "restart after checkpoint race: $(cat "$DIR/s7r-$i.log")"
+  fi
+  req 0 "$DIR/race.json" compress --network ring:6
+  cmp -s "$DIR/cold.json" "$DIR/race.json" ||
+    fail "answer after checkpoint race $i differs from cold"
+  req 0 "$DIR/r.json" shutdown
+  wait "$SRV"
+  code=$?
+  [ "$code" -eq 0 ] || fail "post-race run $i exited $code"
+  SRV=
+done
+
+echo "== phase 8: corrupted certificate is refused (exit 8) =="
+CERT="$DIR/ring6.cert"
+"$BIN" compress ring:6 --all --certify --certificate "$CERT" >/dev/null ||
+  fail "compress --certify on ring:6 failed"
+"$BIN" certify ring:6 "$CERT" >/dev/null ||
+  fail "honest certificate did not verify"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$CERT" "$DIR/bad.cert" <<'PY'
+import json, sys
+c = json.load(open(sys.argv[1]))
+cls = c["classes"][0]
+# move a node between role groups: the checker must refute the partition
+for i, g in enumerate(cls["groups"]):
+    if i > 0 and len(g) > 1:
+        moved = g.pop()
+        cls["groups"][0].append(moved)
+        break
+else:
+    sys.exit("no multi-member group to corrupt")
+json.dump(c, open(sys.argv[2], "w"))
+PY
+  "$BIN" certify ring:6 "$DIR/bad.cert" >"$DIR/cert.out" 2>&1
+  code=$?
+  [ "$code" -eq 8 ] ||
+    fail "mutated certificate exited $code, want 8 ($(cat "$DIR/cert.out"))"
+  grep -q "REFUTED" "$DIR/cert.out" ||
+    fail "mutated certificate refused without details: $(cat "$DIR/cert.out")"
+fi
+head -c $((RANDOM % 64)) "$CERT" >"$DIR/torn.cert"
+"$BIN" certify ring:6 "$DIR/torn.cert" >"$DIR/cert2.out" 2>&1
+code=$?
+[ "$code" -eq 8 ] || fail "truncated certificate exited $code, want 8"
+
+echo "== phase 9: serve self-audit quarantines a corrupted abstraction =="
+rm -f "$CKPT"
+export BONSAI_TEST_HOOKS=1
+start_server "$DIR/s8.log" --checkpoint-every 1
+unset BONSAI_TEST_HOOKS
+req 0 "$DIR/cold3.json" compress --network ring:6
+"$BIN" request --socket "$SOCK" \
+  --raw '{"op":"test-corrupt","network":"ring:6"}' >"$DIR/tc.json" ||
+  fail "test-corrupt failed: $(cat "$DIR/tc.json")"
+# the corruption is caught either by the idle self-audit (if the server
+# gets a quiet moment first) or by this explicit audit — both paths end
+# in quarantine + incident; only the wrong answer must never escape
+"$BIN" request --socket "$SOCK" \
+  --raw '{"op":"audit","audit":"full"}' >"$DIR/audit.json" ||
+  fail "audit op failed: $(cat "$DIR/audit.json")"
+grep -q '"ok":true' "$DIR/audit.json" ||
+  fail "audit op not ok: $(cat "$DIR/audit.json")"
+req 0 "$DIR/rebuilt.json" compress --network ring:6
+cmp -s "$DIR/cold3.json" "$DIR/rebuilt.json" ||
+  fail "post-quarantine rebuild differs from the honest cold answer"
+req 0 "$DIR/stats2.json" stats
+grep -q '"incidents":1' "$DIR/stats2.json" ||
+  fail "incident not counted in stats: $(cat "$DIR/stats2.json")"
+req 0 "$DIR/r.json" shutdown
+wait "$SRV"
+code=$?
+[ "$code" -eq 0 ] || fail "self-audit phase exit code $code"
+SRV=
+grep -q "certificate-incident" "$DIR/s8.log" ||
+  fail "no structured incident in the server log: $(cat "$DIR/s8.log")"
 
 echo "serve_soak PASS"

@@ -416,6 +416,36 @@ let test_budget_degrades () =
       Alcotest.(check bool) "summary carries degradation" true
         (s.Bonsai_api.degradation <> None))
 
+let test_recertify_reused () =
+  (* with --certify, every reused/seeded class must pass the independent
+     checker before being trusted; none should be refuted on an honest
+     engine, and the count must cover everything that skipped scratch *)
+  let net = fattree4 () in
+  match Incr.init net with
+  | Error e -> Alcotest.failf "init: %a" Bonsai_error.pp e
+  | Ok st -> (
+    let g = net.Device.graph in
+    let u = 0 in
+    let v = (Graph.succ g u).(0) in
+    let d =
+      Delta.Acl_set
+        {
+          node = Graph.name g u;
+          nbr = Graph.name g v;
+          acl = Some [ { Acl.permit = true; prefix = Prefix.of_string "10.0.0.0/8" } ];
+        }
+    in
+    match Incr.recompress ~recertify:Certify.Sample st [ d ] with
+    | Error e -> Alcotest.failf "recompress: %a" Bonsai_error.pp e
+    | Ok r ->
+      Alcotest.(check bool) "some classes reused" true (r.Incr.r_reused > 0);
+      Alcotest.(check int) "reused + seeded all certified"
+        (r.Incr.r_reused + r.Incr.r_seeded)
+        r.Incr.r_recertified;
+      Alcotest.(check int) "none refuted" 0 r.Incr.r_recert_refuted;
+      Alcotest.(check bool) "consistent with scratch" true
+        (check_against_scratch st))
+
 let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
 let () =
@@ -449,6 +479,8 @@ let () =
             test_node_add_full_rebuild;
           Alcotest.test_case "pins preserved" `Quick test_pins_preserved;
           Alcotest.test_case "budget degrades" `Quick test_budget_degrades;
+          Alcotest.test_case "recertify covers reuse" `Quick
+            test_recertify_reused;
         ] );
       qsuite "fuzz" [ prop_ring; prop_fattree; prop_random; prop_multi ];
     ]

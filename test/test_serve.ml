@@ -329,7 +329,7 @@ let test_engine_checkpoint_restore () =
   let warm_eng = engine () in
   (match Serve_engine.restore warm_eng ~path with
   | `Restored n -> Alcotest.(check int) "one network restored" 1 n
-  | `Cold m -> Alcotest.failf "restore went cold: %s" m
+  | `Version_skew m | `Corrupt m -> Alcotest.failf "restore went cold: %s" m
   | `Missing -> Alcotest.fail "restore found nothing");
   Alcotest.(check int) "registry warm before any request" 1
     (Serve_engine.networks warm_eng);
@@ -346,7 +346,8 @@ let test_engine_corrupt_checkpoint_cold () =
   write_file path "definitely not a checkpoint";
   let eng = engine () in
   (match Serve_engine.restore eng ~path with
-  | `Cold _ -> ()
+  | `Corrupt _ -> ()
+  | `Version_skew _ -> Alcotest.fail "garbage is corrupt, not version skew"
   | `Restored _ -> Alcotest.fail "restored garbage"
   | `Missing -> Alcotest.fail "file exists");
   (* cold rebuild, not a crash: the engine serves anyway *)
@@ -361,6 +362,163 @@ let test_engine_lru_registry () =
   Alcotest.(check int) "one network" 1 (Serve_engine.networks eng);
   ignore (handle eng "{\"op\":\"load\",\"network\":\"ring:6\"}");
   Alcotest.(check int) "still one network" 1 (Serve_engine.networks eng)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub haystack i nn) needle || go (i + 1))
+  in
+  go 0
+
+(* The three cold-start causes are distinguishable: a checkpoint written
+   by a different build must read as version skew (not generic
+   corruption), and the status must reach the stats response. *)
+let test_engine_version_skew_distinct () =
+  with_tmp @@ fun path ->
+  let payload = "x" in
+  write_file path
+    (Printf.sprintf "bonsai-checkpoint 1 %s %s %d\n%s" (String.make 32 '0')
+       (Digest.to_hex (Digest.string payload))
+       (String.length payload) payload);
+  let eng = engine () in
+  (match Serve_engine.restore eng ~path with
+  | `Version_skew _ -> ()
+  | `Restored _ -> Alcotest.fail "restored a foreign blob"
+  | `Missing -> Alcotest.fail "file exists"
+  | `Corrupt m -> Alcotest.failf "wrong-build digest is skew, got corrupt: %s" m);
+  Alcotest.(check bool) "stats surfaces version-skew" true
+    (contains (handle eng "{\"op\":\"stats\"}") "\"checkpoint\":\"version-skew\"");
+  let eng' = engine () in
+  (match Serve_engine.restore eng' ~path:(path ^ ".nope") with
+  | `Missing -> ()
+  | _ -> Alcotest.fail "absent file is Missing");
+  Alcotest.(check bool) "stats surfaces missing" true
+    (contains (handle eng' "{\"op\":\"stats\"}") "\"checkpoint\":\"missing\"")
+
+(* The self-audit catches a silently corrupted warm abstraction: refute,
+   quarantine, incident, and a rebuilt answer byte-identical to cold. *)
+let test_engine_self_audit_quarantines () =
+  let eng = engine () in
+  let line = "{\"op\":\"compress\",\"network\":\"ring:4\"}" in
+  let cold = handle eng line in
+  Alcotest.(check bool) "cold ok" true (response_ok cold);
+  (* the corruption hook is gated on the test environment *)
+  Alcotest.(check bool) "test-corrupt gated off by default" true
+    (contains
+       (handle eng "{\"op\":\"test-corrupt\",\"network\":\"ring:4\"}")
+       "unknown op");
+  (match Serve_engine.audit_step eng with
+  | Serve_engine.Audit_clean _ -> ()
+  | _ -> Alcotest.fail "healthy warm state must audit clean");
+  Unix.putenv "BONSAI_TEST_HOOKS" "1";
+  let corrupted =
+    handle eng "{\"op\":\"test-corrupt\",\"network\":\"ring:4\"}"
+  in
+  Unix.putenv "BONSAI_TEST_HOOKS" "0";
+  Alcotest.(check bool) "corrupted" true (response_ok corrupted);
+  (match Serve_engine.audit_step eng with
+  | Serve_engine.Audit_quarantined (spec, _) ->
+    Alcotest.(check string) "quarantined the corrupted network" "ring:4" spec
+  | _ -> Alcotest.fail "audit must refute the corrupted state");
+  (match Serve_engine.drain_incidents eng with
+  | [ (spec, _) ] -> Alcotest.(check string) "one incident" "ring:4" spec
+  | l -> Alcotest.failf "expected 1 incident, got %d" (List.length l));
+  Alcotest.(check int) "entry evicted" 0 (Serve_engine.networks eng);
+  Alcotest.(check string) "rebuilt answer == cold answer" cold
+    (handle eng line);
+  Alcotest.(check bool) "incident counted in stats" true
+    (contains (handle eng "{\"op\":\"stats\"}") "\"incidents\":1")
+
+(* --- Backoff (the bonsai-watch retry policy) ---------------------------- *)
+
+let test_backoff_cap_and_reset () =
+  let bo = Backoff.create ~base_ms:500 () in
+  Alcotest.(check int) "healthy -> base" 500 (Backoff.sleep_ms bo);
+  Alcotest.(check int) "first failure doubles" 1000 (Backoff.note_failure bo);
+  for _ = 1 to 100 do
+    ignore (Backoff.note_failure bo)
+  done;
+  Alcotest.(check int) "capped at 30s" 30_000 (Backoff.sleep_ms bo);
+  Backoff.reset bo;
+  Alcotest.(check int) "reset -> base" 500 (Backoff.sleep_ms bo)
+
+let test_backoff_never_busy_loops () =
+  (* a persistently failing source sleeps at least base_ms for ANY
+     streak length — including ones where an unclamped 1-lsl-n shift
+     would overflow — so the watcher can never spin *)
+  let bo = Backoff.create ~base_ms:7 ~cap_ms:10_000 () in
+  for i = 1 to 200 do
+    let ms = Backoff.note_failure bo in
+    if ms < 7 then Alcotest.failf "failure %d slept %dms < base" i ms;
+    if ms > 10_000 then Alcotest.failf "failure %d slept %dms > cap" i ms
+  done;
+  Alcotest.(check int) "failures counted" 200 (Backoff.failures bo);
+  Alcotest.(check int) "still exactly the cap" 10_000 (Backoff.sleep_ms bo)
+
+let test_backoff_retry_semantics () =
+  (* mid-write: the re-read sees the completed write *)
+  let reads = ref 0 and slept = ref 0 in
+  let parse s = if String.equal s "good" then Ok s else Error ("bad " ^ s) in
+  let read () =
+    incr reads;
+    Ok "good"
+  in
+  let text, out =
+    Backoff.parse_with_retry ~read ~parse
+      ~sleep:(fun () -> incr slept)
+      "half-writ"
+  in
+  Alcotest.(check string) "settled on the re-read" "good" text;
+  (match out with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "retry should have parsed: %s" m);
+  Alcotest.(check int) "slept once" 1 !slept;
+  Alcotest.(check int) "re-read once" 1 !reads;
+  (* a clean first parse never re-reads *)
+  let reads2 = ref 0 in
+  let _, out2 =
+    Backoff.parse_with_retry
+      ~read:(fun () ->
+        incr reads2;
+        Ok "ignored")
+      ~parse
+      ~sleep:(fun () -> ())
+      "good"
+  in
+  (match out2 with Ok _ -> () | Error _ -> Alcotest.fail "clean parse");
+  Alcotest.(check int) "no re-read on success" 0 !reads2
+
+let test_backoff_retry_unchanged_keeps_first_error () =
+  (* identical bytes on re-read: keep the FIRST error, don't burn a
+     second parse on the same input *)
+  let parse_calls = ref 0 in
+  let parse s =
+    incr parse_calls;
+    Error (Printf.sprintf "err%d %s" !parse_calls s)
+  in
+  let text, out =
+    Backoff.parse_with_retry
+      ~read:(fun () -> Ok "same")
+      ~parse
+      ~sleep:(fun () -> ())
+      "same"
+  in
+  Alcotest.(check string) "text unchanged" "same" text;
+  (match out with
+  | Error m -> Alcotest.(check string) "first error kept" "err1 same" m
+  | Ok _ -> Alcotest.fail "should fail");
+  Alcotest.(check int) "parsed once only" 1 !parse_calls;
+  (* a failed re-read also keeps the first error *)
+  let _, out2 =
+    Backoff.parse_with_retry
+      ~read:(fun () -> Error "gone")
+      ~parse:(fun _ -> Error "e1")
+      ~sleep:(fun () -> ())
+      "t"
+  in
+  match out2 with
+  | Error "e1" -> ()
+  | _ -> Alcotest.fail "first error kept when the re-read fails"
 
 (* --- fuzz: arbitrary bytes only ever produce typed responses ----------- *)
 
@@ -475,6 +633,20 @@ let () =
           Alcotest.test_case "corrupt checkpoint goes cold" `Quick
             test_engine_corrupt_checkpoint_cold;
           Alcotest.test_case "registry lru" `Quick test_engine_lru_registry;
+          Alcotest.test_case "version skew distinct" `Quick
+            test_engine_version_skew_distinct;
+          Alcotest.test_case "self-audit quarantines" `Quick
+            test_engine_self_audit_quarantines;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "cap and reset" `Quick test_backoff_cap_and_reset;
+          Alcotest.test_case "never busy-loops" `Quick
+            test_backoff_never_busy_loops;
+          Alcotest.test_case "mid-write retry" `Quick
+            test_backoff_retry_semantics;
+          Alcotest.test_case "unchanged keeps first error" `Quick
+            test_backoff_retry_unchanged_keeps_first_error;
         ] );
       qsuite "fuzz" [ prop_total; prop_json_roundtrip ];
     ]
