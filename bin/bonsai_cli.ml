@@ -24,7 +24,8 @@ let resolve_network_full spec =
       (Usage
          (Printf.sprintf
             "unknown network %S (expected fattree:K, fattree-prefer:K, \
-             ring:N, mesh:N, random:N[:SEED], datacenter, wan, file:PATH)"
+             ring:N, mesh:N, random:N[:SEED], multiwan:R:S, datacenter, \
+             wan, file:PATH)"
             spec))
   in
   let pure net = (net, None) in
@@ -52,6 +53,13 @@ let resolve_network_full spec =
     match int_of_string_opt n with
     | Some n -> pure (Synthesis.mesh_bgp ~n)
     | None -> fail ())
+  | [ "multiwan"; r; s ] -> (
+    (* R regions of S routers each, module-annotated (plus a core
+       module) — the modular-compression workload at any scale. *)
+    match (int_of_string_opt r, int_of_string_opt s) with
+    | Some regions, Some region_size ->
+      pure (Synthesis.multiwan ~regions ~region_size).Synthesis.net
+    | _ -> fail ())
   | [ "random"; n ] | [ "random"; n; _ ] -> (
     let seed =
       match String.split_on_char ':' spec with
@@ -216,10 +224,31 @@ let run_certify ~budget ~audit ~certificate net cert =
       (Bonsai_error.Certificate_failure (Certify.failures_string fs))
 
 let compress_cmd_run spec ec_prefix dot all check format budget_ms
-    budget_ticks degrade certify audit certificate =
+    budget_ticks degrade certify audit certificate modules =
   guarded @@ fun () ->
   let net = resolve_network spec in
   let budget = make_budget budget_ms budget_ticks in
+  (* --modules: compress module-by-module with fault isolation, then
+     compose the per-module partitions into the whole-network summary
+     (exact under the seeded-path guards — DESIGN.md §16). Implies
+     --all: composition covers every destination class anyway. The
+     per-module health table goes to stderr; stdout keeps the normal
+     compress shape. *)
+  let modular_summary =
+    match modules with
+    | None -> None
+    | Some mode ->
+      let st =
+        match Modular.run ~mode ~budget net with
+        | Ok st -> st
+        | Error e -> Bonsai_error.error e
+      in
+      Format.eprintf "%a%!" Modular.pp_report (Modular.report st);
+      (match Modular.compose ~budget st with
+      | Ok s -> Some s
+      | Error e -> Bonsai_error.error e)
+  in
+  let all = all || Option.is_some modular_summary in
   (* Elapsed wall clock is nondeterministic, so it goes to stderr; the
      degradation report on stdout stays golden-testable. *)
   let report_budget () =
@@ -230,7 +259,11 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
   let degrade_exit code = if degrade then 0 else code in
   let g = net.Device.graph in
   if all then begin
-    let s = Bonsai_api.compress_exn ~budget net in
+    let s =
+      match modular_summary with
+      | Some s -> s
+      | None -> Bonsai_api.compress_exn ~budget net
+    in
     let checked_ok = ref true in
     (match format with
     | `Text ->
@@ -429,6 +462,69 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
     | Some `Check -> degrade_exit 1
   end
 
+(* --- modular: per-module compression with fault isolation --------------- *)
+
+let modular_cmd_run spec mode count format budget_ms budget_ticks degrade
+    certify inject_fault =
+  guarded @@ fun () ->
+  let budget = make_budget budget_ms budget_ticks in
+  (* Escalated-retry pacing: a faulting module waits (briefly, growing
+     per fault) before its second attempt — the same Backoff policy the
+     watcher and `bonsai request` use. *)
+  let bo = Backoff.create ~base_ms:10 ~cap_ms:2000 () in
+  let retry_pause name =
+    let ms = Backoff.note_failure bo in
+    Printf.eprintf "modular: module %s faulted; retrying after %dms with an \
+                    escalated slice\n%!" name ms;
+    Unix.sleepf (float_of_int ms /. 1000.0)
+  in
+  let report_budget () =
+    if not (Budget.is_infinite budget) then
+      Printf.eprintf "budget: %d ticks consumed, %.3fs elapsed\n%!"
+        (Budget.ticks budget) (Budget.elapsed_s budget)
+  in
+  let finish (rp : Modular.report) =
+    (match format with
+    | `Text -> Format.printf "%a%!" Modular.pp_report rp
+    | `Json ->
+      print_endline (Json.to_string (Json.Obj (Modular.report_json_fields rp))));
+    report_budget ();
+    let refuted =
+      List.exists
+        (fun (mr : Modular.module_report) ->
+          mr.Modular.mr_health = Modular.Refuted)
+        rp.Modular.rp_modules
+    in
+    if refuted then
+      (* a refuted certificate is never masked by --degrade *)
+      Bonsai_error.exit_code (Bonsai_error.Certificate_failure "")
+    else if Modular.any_fault rp && not degrade then 3
+    else 0
+  in
+  match String.split_on_char ':' spec with
+  | [ "multiwan-stream"; r; s ] -> (
+    (* The 10k-router path: modules are synthesized, compressed, and
+       dropped one at a time — the whole network never materializes. *)
+    match (int_of_string_opt r, int_of_string_opt s) with
+    | Some regions, Some region_size -> (
+      let seq = Synthesis.multiwan_stream ~regions ~region_size in
+      match
+        Modular.run_stream ~budget ~certify ~inject_fault ~retry_pause
+          ~count:regions seq
+      with
+      | Ok rp -> finish rp
+      | Error e -> Bonsai_error.error e)
+    | _ ->
+      raise (Usage "multiwan-stream spec is multiwan-stream:REGIONS:SIZE"))
+  | _ -> (
+    let net = resolve_network spec in
+    match
+      Modular.run ~mode ?count ~budget ~certify ~inject_fault ~retry_pause
+        net
+    with
+    | Ok st -> finish (Modular.report st)
+    | Error e -> Bonsai_error.error e)
+
 (* --- diff / watch: incremental recompression --------------------------- *)
 
 (* Everything deterministic about an [Incr.report]; wall time is printed
@@ -538,7 +634,23 @@ let read_watch_path path =
     |> String.concat "\n"
   else read_file path
 
-let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
+(* Router stanzas and topology nodes defined by a configuration text —
+   a plain line scan, usable even when the text as a whole no longer
+   parses (e.g. a deleted file left dangling link references). *)
+let defined_router_names text =
+  String.split_on_char '\n' text
+  |> List.fold_left
+       (fun acc line ->
+         match
+           String.split_on_char ' ' (String.trim line)
+           |> List.filter (fun s -> s <> "")
+         with
+         | [ "node"; n ] | [ "router"; n ] -> n :: acc
+         | _ -> acc)
+       []
+
+let watch_cmd_run path poll_ms once max_events format budget_ms budget_ticks
+    degrade =
   guarded @@ fun () ->
   let read () =
     try Ok (read_watch_path path) with Sys_error m -> Error [ (0, m) ]
@@ -587,6 +699,22 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
     | _ -> 0
   else begin
     let last = ref text0 in
+    let events = ref 0 in
+    let report_event deltas rep =
+      (match format with
+      | `Text ->
+        Format.printf "watch: %d delta%s@." (List.length deltas)
+          (if List.length deltas = 1 then "" else "s");
+        List.iter (fun d -> Format.printf "  - %a@." Delta.pp d) deltas;
+        report_text rep;
+        Format.printf "time: %.3fs@." rep.Incr.r_time_s
+      | `Json ->
+        Printf.printf
+          "{\"event\": \"recompress\", \"deltas\": [%s], %s, \"time_s\": \
+           %.3f}\n%!"
+          (deltas_json deltas) (report_json rep) rep.Incr.r_time_s);
+      incr events
+    in
     (* Consecutive read/parse failures back off exponentially (capped):
        a file that stays broken — deleted, permission flip, an editor
        that crashed mid-save — must not make the watcher spin at the
@@ -620,18 +748,52 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
         in
         last := text;
         match parsed with
-        | Error ds ->
-          (* keep serving the previous network; the next edit gets another
-             chance *)
-          Printf.eprintf
-            "watch: parse error (%d diagnostic%s); keeping the previous \
-             network\n%!"
-            (List.length ds)
-            (if List.length ds = 1 then "" else "s");
-          List.iter
-            (fun (line, m) -> Printf.eprintf "  line %d: %s\n%!" line m)
-            ds;
-          note_failure ()
+        | Error ds -> (
+          (* A deleted *.cfg/*.conf in directory mode leaves the
+             surviving files' references to its routers dangling — the
+             concatenated text stops parsing even though the operator's
+             intent (remove those nodes) is clear. Routers whose [node]/
+             [router] stanzas vanished from the text become node-removal
+             deltas against the previous network; only a parse failure
+             with nothing removed is reported as an error. *)
+          let defined = defined_router_names text in
+          let cur = Incr.network st in
+          let removed =
+            Graph.fold_nodes cur.Device.graph ~init:[] ~f:(fun acc v ->
+                let nm = Graph.name cur.Device.graph v in
+                if List.mem nm defined then acc else nm :: acc)
+            |> List.sort compare
+          in
+          match removed with
+          | [] ->
+            (* keep serving the previous network; the next edit gets
+               another chance *)
+            Printf.eprintf
+              "watch: parse error (%d diagnostic%s); keeping the previous \
+               network\n%!"
+              (List.length ds)
+              (if List.length ds = 1 then "" else "s");
+            List.iter
+              (fun (line, m) -> Printf.eprintf "  line %d: %s\n%!" line m)
+              ds;
+            note_failure ()
+          | names -> (
+            Backoff.reset bo;
+            Printf.eprintf
+              "watch: %d router%s no longer defined; treating as node \
+               removal\n%!"
+              (List.length names)
+              (if List.length names = 1 then "" else "s");
+            let deltas = List.map (fun n -> Delta.Node_remove n) names in
+            match
+              Incr.recompress
+                ~budget:(make_budget budget_ms budget_ticks)
+                st deltas
+            with
+            | Error e ->
+              Printf.eprintf "watch: %s\n%!"
+                (Format.asprintf "@[%a@]" Bonsai_error.pp e)
+            | Ok rep -> report_event deltas rep))
         | Ok (net', _) -> (
           Backoff.reset bo;
           match
@@ -641,20 +803,8 @@ let watch_cmd_run path poll_ms once format budget_ms budget_ticks degrade =
           | Error e ->
             Printf.eprintf "watch: %s\n%!"
               (Format.asprintf "@[%a@]" Bonsai_error.pp e)
-          | Ok (deltas, rep) -> (
-            match format with
-            | `Text ->
-              Format.printf "watch: %d delta%s@." (List.length deltas)
-                (if List.length deltas = 1 then "" else "s");
-              List.iter (fun d -> Format.printf "  - %a@." Delta.pp d) deltas;
-              report_text rep;
-              Format.printf "time: %.3fs@." rep.Incr.r_time_s
-            | `Json ->
-              Printf.printf
-                "{\"event\": \"recompress\", \"deltas\": [%s], %s, \
-                 \"time_s\": %.3f}\n%!"
-                (deltas_json deltas) (report_json rep) rep.Incr.r_time_s))));
-      loop ()
+          | Ok (deltas, rep) -> report_event deltas rep)));
+      if max_events > 0 && !events >= max_events then 0 else loop ()
     in
     loop ()
   end
@@ -1325,7 +1475,7 @@ let serve_cmd_run stdio socket tcp max_inflight budget_ms budget_ticks
    (or take it raw), send it, print the one response line, exit with the
    code the equivalent one-shot command would have used. *)
 let request_cmd_run socket tcp op network ec to_spec k rounds samples seed
-    budget_ms budget_ticks raw =
+    budget_ms budget_ticks raw no_retry =
   guarded @@ fun () ->
   let line =
     match raw with
@@ -1362,39 +1512,67 @@ let request_cmd_run socket tcp op network ec to_spec k rounds samples seed
       Unix.ADDR_INET (inet, port)
     | _ -> raise (Usage "exactly one of --socket or --tcp is required")
   in
-  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      (match Unix.connect fd addr with
-      | () -> ()
-      | exception Unix.Unix_error (e, _, _) ->
-        Format.kasprintf failwith "cannot connect: %s" (Unix.error_message e));
-      let payload = Bytes.of_string (line ^ "\n") in
-      let len = Bytes.length payload in
-      let rec send off =
-        if off < len then send (off + Unix.write fd payload off (len - off))
-      in
-      send 0;
-      let buf = Buffer.create 4096 in
-      let chunk = Bytes.create 4096 in
-      let rec recv () =
-        if not (String.contains (Buffer.contents buf) '\n') then
-          match Unix.read fd chunk 0 (Bytes.length chunk) with
-          | 0 -> ()
-          | n ->
-            Buffer.add_subbytes buf chunk 0 n;
-            recv ()
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
-      in
-      recv ();
-      let resp =
-        match String.index_opt (Buffer.contents buf) '\n' with
-        | Some i -> String.sub (Buffer.contents buf) 0 i
-        | None -> Buffer.contents buf
-      in
-      if String.length resp = 0 then
-        failwith "connection closed without a response";
+  (* One request/response exchange on a fresh connection (the server is
+     line-oriented but we reconnect per attempt, so a shed request never
+     holds a socket open across its backoff sleep). *)
+  let exchange () =
+    let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (match Unix.connect fd addr with
+        | () -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Format.kasprintf failwith "cannot connect: %s"
+            (Unix.error_message e));
+        let payload = Bytes.of_string (line ^ "\n") in
+        let len = Bytes.length payload in
+        let rec send off =
+          if off < len then send (off + Unix.write fd payload off (len - off))
+        in
+        send 0;
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec recv () =
+          if not (String.contains (Buffer.contents buf) '\n') then
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              recv ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+        in
+        recv ();
+        let resp =
+          match String.index_opt (Buffer.contents buf) '\n' with
+          | Some i -> String.sub (Buffer.contents buf) 0 i
+          | None -> Buffer.contents buf
+        in
+        if String.length resp = 0 then
+          failwith "connection closed without a response";
+        resp)
+  in
+  (* Overload is transient by definition — the server said so with its
+     retry_after_ms hint. Honor it (floored by exponential backoff) for
+     a bounded number of attempts instead of exiting 11 immediately;
+     --no-retry restores the old single-shot behavior. Only the final
+     response line reaches stdout. *)
+  let max_attempts = if no_retry then 1 else 5 in
+  let bo = Backoff.create ~base_ms:100 ~cap_ms:5000 () in
+  let overloaded_hint r =
+    match Option.bind (Json.member "error" r) (Json.member "class") with
+    | Some (Json.String "overloaded") ->
+      Some
+        (Option.value ~default:0
+           (Option.bind
+              (Option.bind (Json.member "error" r)
+                 (Json.member "retry_after_ms"))
+              Json.to_int_opt))
+    | _ -> None
+  in
+  let rec go attempt =
+    let resp = exchange () in
+    let finish () =
       print_endline resp;
       match Json.parse resp with
       | Ok r
@@ -1406,7 +1584,22 @@ let request_cmd_run socket tcp op network ec to_spec k rounds samples seed
         match Option.bind (Json.member "error" r) (Json.member "class") with
         | Some (Json.String cls) -> Protocol.exit_code_of_class cls
         | _ -> Bonsai_error.exit_code (Bonsai_error.Internal ""))
-      | Error _ -> Bonsai_error.exit_code (Bonsai_error.Internal ""))
+      | Error _ -> Bonsai_error.exit_code (Bonsai_error.Internal "")
+    in
+    match Json.parse resp with
+    | Ok r when attempt < max_attempts -> (
+      match overloaded_hint r with
+      | Some hint_ms ->
+        let ms = max hint_ms (Backoff.note_failure bo) in
+        Printf.eprintf
+          "request: server overloaded; retrying in %dms (attempt %d/%d)\n%!"
+          ms (attempt + 1) max_attempts;
+        Unix.sleepf (float_of_int ms /. 1000.0);
+        go (attempt + 1)
+      | None -> finish ())
+    | _ -> finish ()
+  in
+  go 1
 
 (* --- roles -------------------------------------------------------------- *)
 
@@ -1553,12 +1746,71 @@ let compress_cmd =
             "Independently re-validate the effective-abstraction conditions \
              (paper Figure 4) on the result; exit 1 on any violation.")
   in
+  let modules =
+    Arg.(
+      value
+      & opt (some (enum [ ("auto", Modular.Auto); ("annot", Modular.Annot) ]))
+          None
+      & info [ "modules" ] ~docv:"MODE"
+          ~doc:
+            "Compress module-by-module with per-module fault isolation and \
+             compose the result (implies $(b,--all)): $(b,annot) uses the \
+             operators' $(i,module NAME) annotations, $(b,auto) partitions \
+             by BFS regions. The per-module health table goes to stderr.")
+  in
   Cmd.v
     (cmd_info "compress" ~doc:"Compress a network for one destination class")
     Term.(
       const compress_cmd_run $ network_arg $ ec_arg $ dot $ all $ check
       $ format_arg $ budget_ms_arg $ budget_ticks_arg $ degrade_arg
-      $ certify_flag $ audit_arg $ certificate_arg)
+      $ certify_flag $ audit_arg $ certificate_arg $ modules)
+
+let modular_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("auto", Modular.Auto); ("annot", Modular.Annot) ])
+          Modular.Auto
+      & info [ "modules" ] ~docv:"MODE"
+          ~doc:
+            "Partitioning mode: $(b,annot) requires a $(i,module NAME) \
+             annotation on every router; $(b,auto) (default) grows BFS \
+             regions of roughly equal size.")
+  in
+  let count =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Target module count for $(b,--modules auto).")
+  in
+  let inject =
+    Arg.(
+      value & opt_all string []
+      & info [ "inject-fault" ] ~docv:"MODULE"
+          ~doc:
+            "Force the named module to run under a 1-tick budget (both \
+             attempts) — a deterministic fault for testing isolation; \
+             repeatable.")
+  in
+  Cmd.v
+    (cmd_info "modular"
+       ~doc:
+         "Compress a network module-by-module, each module under its own \
+          budget slice and BDD manager, with per-module fault isolation: a \
+          module that diverges, exhausts its slice, or fails \
+          $(b,--certify) is retried once with an escalated slice, then \
+          degraded to the identity abstraction for that module only. \
+          Prints the per-module health table (ok/retried/degraded/\
+          refuted). The spec $(b,multiwan-stream:R:S) synthesizes and \
+          compresses an R-region WAN one module at a time without \
+          materializing the whole network. Exit 0 when every module is \
+          healthy (or $(b,--degrade) is set), 3 when any module degraded, \
+          8 when a certificate was refuted.")
+    Term.(
+      const modular_cmd_run $ network_arg $ mode $ count $ format_arg
+      $ budget_ms_arg $ budget_ticks_arg $ degrade_arg $ certify_flag
+      $ inject)
 
 let diff_cmd =
   let old_arg =
@@ -1611,6 +1863,14 @@ let watch_cmd =
             "Compress the current contents, report, and exit instead of \
              watching (for scripting and tests).")
   in
+  let max_events =
+    Arg.(
+      value & opt int 0
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:
+            "Exit 0 after N recompression events (0: watch forever). For \
+             scripting and tests.")
+  in
   Cmd.v
     (cmd_info "watch"
        ~doc:
@@ -1620,8 +1880,8 @@ let watch_cmd =
           budget-governed by $(b,--budget-ms)/$(b,--budget-ticks) with the \
           same degradation rules as compress.")
     Term.(
-      const watch_cmd_run $ path_arg $ poll_ms $ once $ format_arg
-      $ budget_ms_arg $ budget_ticks_arg $ degrade_arg)
+      const watch_cmd_run $ path_arg $ poll_ms $ once $ max_events
+      $ format_arg $ budget_ms_arg $ budget_ticks_arg $ degrade_arg)
 
 let lint_cmd =
   let format =
@@ -2067,17 +2327,28 @@ let request_cmd =
       & info [ "raw" ] ~docv:"JSON"
           ~doc:"Send this exact JSON line instead of building one.")
   in
+  let no_retry =
+    Arg.(
+      value & flag
+      & info [ "no-retry" ]
+          ~doc:
+            "Exit 11 immediately on an $(i,overloaded) response instead of \
+             honoring its retry_after_ms hint with bounded backed-off \
+             retries.")
+  in
   Cmd.v
     (cmd_info "request"
        ~doc:
          "Send one request to a running $(b,bonsai serve) and print the \
-          response line. Exits with the same code the equivalent one-shot \
-          command would have used (plus 11 when the server shed the \
-          request as overloaded).")
+          response line. An $(i,overloaded) response is retried a bounded \
+          number of times, honoring the server's retry_after_ms hint \
+          (floored by exponential backoff) unless $(b,--no-retry); exits \
+          with the same code the equivalent one-shot command would have \
+          used (plus 11 when the server shed the request as overloaded).")
     Term.(
       const request_cmd_run $ socket_arg $ tcp_arg $ op $ network $ ec
       $ to_spec $ k $ rounds $ samples $ seed $ budget_ms_arg
-      $ budget_ticks_arg $ raw)
+      $ budget_ticks_arg $ raw $ no_retry)
 
 let () =
   let doc = "Bonsai: control plane compression (SIGCOMM 2018 reproduction)" in
@@ -2085,4 +2356,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc ~exits)
-          [ info_cmd; compress_cmd; certify_cmd; diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd; serve_cmd; request_cmd ]))
+          [ info_cmd; compress_cmd; modular_cmd; certify_cmd; diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd; serve_cmd; request_cmd ]))

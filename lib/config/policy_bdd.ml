@@ -16,7 +16,28 @@ let index_of arr x =
   in
   go 0
 
-let universe_of_network ?(keep_unmatched_comms = false) (net : Device.network) =
+type universe_params = {
+  up_comms : int array;
+  up_lps : int array;
+  up_meds : int array;
+}
+
+let universe_of_params { up_comms; up_lps; up_meds } =
+  let lp_bits = Bvec.bits_needed (max 1 (Array.length up_lps - 1)) in
+  let med_bits = Bvec.bits_needed (max 1 (Array.length up_meds - 1)) in
+  {
+    man = Bdd.man ();
+    comms = up_comms;
+    lps = up_lps;
+    meds = up_meds;
+    lp_bits;
+    med_bits;
+    width = Array.length up_comms + lp_bits + med_bits + 1;
+  }
+
+let params_of_universe u = { up_comms = u.comms; up_lps = u.lps; up_meds = u.meds }
+
+let universe_params ?(keep_unmatched_comms = false) (net : Device.network) =
   let matched = ref [] and set = ref [] and lps = ref [ Bgp.default_lp ] in
   let meds = ref [ 0 ] in
   let scan_rm rm =
@@ -43,20 +64,14 @@ let universe_of_network ?(keep_unmatched_comms = false) (net : Device.network) =
   let comms =
     if keep_unmatched_comms then !matched @ !set else !matched
   in
-  let comms = Array.of_list (List.sort_uniq Int.compare comms) in
-  let lps = Array.of_list (List.sort_uniq Int.compare !lps) in
-  let meds = Array.of_list (List.sort_uniq Int.compare !meds) in
-  let lp_bits = Bvec.bits_needed (max 1 (Array.length lps - 1)) in
-  let med_bits = Bvec.bits_needed (max 1 (Array.length meds - 1)) in
   {
-    man = Bdd.man ();
-    comms;
-    lps;
-    meds;
-    lp_bits;
-    med_bits;
-    width = Array.length comms + lp_bits + med_bits + 1;
+    up_comms = Array.of_list (List.sort_uniq Int.compare comms);
+    up_lps = Array.of_list (List.sort_uniq Int.compare !lps);
+    up_meds = Array.of_list (List.sort_uniq Int.compare !meds);
   }
+
+let universe_of_network ?keep_unmatched_comms net =
+  universe_of_params (universe_params ?keep_unmatched_comms net)
 
 (* Variable layout: the input, output and scratch variables of one field
    are adjacent ([3*field + b] with b = 0 input, 1 output, 2 scratch).

@@ -36,6 +36,27 @@ val universe_of_network :
     spurious role differences. Pass [~keep_unmatched_comms:true] for the
     naive abstraction (used by the ablation benchmark). *)
 
+type universe_params = {
+  up_comms : int array;
+  up_lps : int array;
+  up_meds : int array;
+}
+(** A universe's value layout, detached from any BDD manager. Modular
+    compression scans the whole network once for these, then builds one
+    fresh-manager universe per module from the {e same} params: a
+    community matched only in module B still gets a variable in module
+    A's universe, so policy-BDD equality means the same thing in every
+    module (and in the composition pass). *)
+
+val universe_params :
+  ?keep_unmatched_comms:bool -> Device.network -> universe_params
+(** The scan half of {!universe_of_network} — no manager allocated. *)
+
+val universe_of_params : universe_params -> universe
+(** Build a universe with a fresh manager over a fixed layout. *)
+
+val params_of_universe : universe -> universe_params
+
 val identity : universe -> Bdd.t
 (** Relation of the permit-all policy. *)
 

@@ -254,14 +254,14 @@ let unchanged_ec ~old_net ~new_net ~cache ~touched (ec : Ecs.ec)
 
 (* ------------------------------------------------------------------ *)
 
-let init ?(pinned = []) ?cache_cap ?(budget = Budget.infinite)
+let init ?(pinned = []) ?cache_cap ?universe ?(budget = Budget.infinite)
     (net : Device.network) =
   Bonsai_error.protect @@ fun () ->
   (match Device.validate net with
   | Ok () -> ()
   | Error m -> Bonsai_error.error (Bonsai_error.Compile_error m));
   let cache, bdd_time_s =
-    Timing.time (fun () -> Sig_cache.create ?max_entries:cache_cap net)
+    Timing.time (fun () -> Sig_cache.create ?max_entries:cache_cap ?universe net)
   in
   let n = Graph.n_nodes net.Device.graph in
   let pinned_names =

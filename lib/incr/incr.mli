@@ -59,6 +59,7 @@ type report = {
 val init :
   ?pinned:int list ->
   ?cache_cap:int ->
+  ?universe:Policy_bdd.universe ->
   ?budget:Budget.t ->
   Device.network ->
   (state, Bonsai_error.t) result
@@ -67,7 +68,10 @@ val init :
     recompression. [cache_cap] bounds the signature cache
     ({!Sig_cache.create}'s [max_entries]), including after full rebuilds;
     a resident engine passes it so the shared BDD root set stays bounded
-    across thousands of recompressions. *)
+    across thousands of recompressions. [universe] seeds the signature
+    cache with a caller-built universe (modular compression: a fresh
+    manager per module over the global value layout) instead of one
+    derived from [net]. *)
 
 val recompress :
   ?budget:Budget.t ->
@@ -97,6 +101,32 @@ val recompress_net :
 (** [recompress_net st net'] diffs the current network against [net'] and
     recompresses; returns the deltas it derived. The engine of
     [bonsai watch], where only the new configuration text is known. *)
+
+val quotient_merge :
+  Union_split_find.t ->
+  Device.network ->
+  dest:int ->
+  signature:(int -> int -> 'k) ->
+  pinned:int list ->
+  budget:Budget.t ->
+  unit
+(** The merge half of the seeded path (DESIGN.md §12), coarsening a
+    stable over-refinement in place: refine the quotient (one element
+    per class, key from a representative) and merge classes sharing a
+    quotient block. Exposed for modular compression, whose composition
+    pass seeds a global refinement with the union of per-module
+    partitions and needs the identical merge to recover the exact
+    from-scratch partition. *)
+
+val no_lp_no_redistribute : Device.network -> bool
+(** No import route-map sets a local preference and no router
+    redistributes: together with {!ec_seedable} this is the guard under
+    which the seeded split-then-merge path is provably exact. *)
+
+val ec_seedable : prefs_trivial:bool -> Device.network -> Ecs.ec -> bool
+(** No static route covers the class and (unless [prefs_trivial] already
+    established it network-wide) every router's effective preference set
+    is exactly [{default}]. *)
 
 val network : state -> Device.network
 val summary : state -> Bonsai_api.summary

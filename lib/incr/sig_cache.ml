@@ -10,10 +10,13 @@ type t = {
   mutable sc_evictions : int;
 }
 
-let create ?(max_entries = max_int) net =
+let create ?(max_entries = max_int) ?universe net =
   if max_entries < 1 then invalid_arg "Sig_cache.create: max_entries < 1";
   {
-    sc_universe = Policy_bdd.universe_of_network net;
+    sc_universe =
+      (match universe with
+      | Some u -> u
+      | None -> Policy_bdd.universe_of_network net);
     sc_table = Hashtbl.create 256;
     sc_max_entries = max_entries;
     sc_clock = 0;

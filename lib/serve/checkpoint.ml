@@ -39,6 +39,31 @@ let build_digest =
        (try Digest.file Sys.executable_name
         with Sys_error _ -> Digest.string Sys.executable_name))
 
+(* Durability counter: incremented once per fsync actually issued
+   (temp file, then its directory). The unit test asserts a save costs
+   at least two — i.e. the old buffered-write + rename-only path, which
+   could surface as a Corrupt load after a power loss, is gone. *)
+let syncs = ref 0
+
+let sync_count () = !syncs
+
+let fsync_path ?(dir = false) p =
+  let flags = if dir then [ Unix.O_RDONLY ] else [ Unix.O_WRONLY ] in
+  match Unix.openfile p flags 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try
+          Unix.fsync fd;
+          incr syncs
+        with Unix.Unix_error _ ->
+          (* e.g. a filesystem that rejects directory fsync: rename
+             atomicity still protects against torn writes, only the
+             power-loss window stays *)
+          ())
+
 let save ~path v =
   match Marshal.to_string v [] with
   | exception e ->
@@ -55,7 +80,14 @@ let save ~path v =
       Out_channel.with_open_bin tmp (fun oc ->
           Out_channel.output_string oc header;
           Out_channel.output_string oc payload);
+      (* Durability order: flush the temp file's bytes to stable
+         storage, publish with the atomic rename, then flush the
+         directory so the rename itself survives a power loss —
+         otherwise a crash right after checkpointing can resurface an
+         old (or torn) image as a Corrupt load. *)
+      fsync_path tmp;
       Sys.rename tmp path;
+      fsync_path ~dir:true (Filename.dirname path);
       Ok ()
     with Sys_error m | Unix.Unix_error (_, m, _) ->
       (try Sys.remove tmp with Sys_error _ -> ());

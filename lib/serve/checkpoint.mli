@@ -24,8 +24,16 @@ type load_error =
 val pp_load_error : Format.formatter -> load_error -> unit
 
 val save : path:string -> 'a -> (unit, string) result
-(** Serialize, write [path.<pid>.tmp], rename to [path]. On [Error] the
-    previously published checkpoint (if any) is untouched. *)
+(** Serialize, write [path.<pid>.tmp], fsync it, rename to [path], fsync
+    the containing directory — so the published checkpoint survives a
+    power loss immediately after the call, not just a process crash. On
+    [Error] the previously published checkpoint (if any) is untouched. *)
+
+val sync_count : unit -> int
+(** Cumulative fsyncs issued by {!save} in this process (temp file +
+    directory per successful save). Exists so the test suite can assert
+    the durability path is exercised — a save that skipped straight to
+    rename would leave this unchanged. *)
 
 val load : path:string -> ('a, load_error) result
 

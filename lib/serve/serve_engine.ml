@@ -23,6 +23,15 @@ type entry = {
   mutable en_stamp : int;  (* LRU clock for the network registry *)
 }
 
+(* Warm modular runs, in a registry of their own: a modular state is a
+   set of per-module engines, quarantined module-by-module rather than
+   evicted wholesale. *)
+type mentry = {
+  men_spec : string;
+  men_state : Modular.state;
+  mutable men_stamp : int;
+}
+
 type t = {
   resolve : string -> Device.network;
   cap_deadline_s : float option;
@@ -30,6 +39,7 @@ type t = {
   cache_cap : int option;
   max_networks : int;
   registry : (string, entry) Hashtbl.t;
+  modular_registry : (string, mentry) Hashtbl.t;
   mutable clock : int;
   mutable n_requests : int;
   mutable n_ok : int;
@@ -60,6 +70,7 @@ let create ~resolve ?budget_ms ?budget_ticks ?cache_cap ?(max_networks = 8) ()
     cache_cap;
     max_networks;
     registry = Hashtbl.create 7;
+    modular_registry = Hashtbl.create 7;
     clock = 0;
     n_requests = 0;
     n_ok = 0;
@@ -542,6 +553,120 @@ let audit_op t req =
     ("incidents", Json.Int t.n_incidents);
   ]
 
+(* --- modular ---------------------------------------------------------- *)
+
+let mtouch t men =
+  t.clock <- t.clock + 1;
+  men.men_stamp <- t.clock
+
+let modular_health_rows (rp : Modular.report) =
+  (* No wall-clock: the chaos suite diffs these rows byte-for-byte. *)
+  List.map
+    (fun (mr : Modular.module_report) ->
+      Json.Obj
+        ([
+           ("module", Json.String mr.Modular.mr_name);
+           ("routers", Json.Int mr.Modular.mr_routers);
+           ("ecs", Json.Int mr.Modular.mr_ecs);
+           ("concrete", Json.Int mr.Modular.mr_concrete);
+           ("abstract", Json.Int mr.Modular.mr_abstract);
+           ("health", Json.String (Modular.health_name mr.Modular.mr_health));
+         ]
+        @
+        match mr.Modular.mr_detail with
+        | Some d -> [ ("detail", Json.String d) ]
+        | None -> []))
+    rp.Modular.rp_modules
+
+let get_modular t ~budget ~mode ~count ~certify spec =
+  match Hashtbl.find_opt t.modular_registry spec with
+  | Some men ->
+    mtouch t men;
+    (men.men_state, true)
+  | None -> (
+    let net = t.resolve spec in
+    match Modular.run ~mode ?count ~budget ~certify net with
+    | Error e -> Bonsai_error.error e
+    | Ok st ->
+      (* Same warm-state policy as compress: a run where *every* module
+         faulted (e.g. an absurd request budget) is answered from but
+         never cached; partial health is the normal warm shape. *)
+      let rp = Modular.report st in
+      let all_faulted =
+        List.for_all
+          (fun (mr : Modular.module_report) ->
+            match mr.Modular.mr_health with
+            | Modular.Degraded | Modular.Refuted -> true
+            | Modular.Healthy | Modular.Retried -> false)
+          rp.Modular.rp_modules
+      in
+      if not all_faulted then begin
+        if Hashtbl.length t.modular_registry >= t.max_networks then begin
+          let victim =
+            Hashtbl.fold
+              (fun _ men acc ->
+                match acc with
+                | Some best when best.men_stamp <= men.men_stamp -> acc
+                | _ -> Some men)
+              t.modular_registry None
+          in
+          match victim with
+          | None -> ()
+          | Some men ->
+            Hashtbl.remove t.modular_registry men.men_spec;
+            t.n_net_evictions <- t.n_net_evictions + 1
+        end;
+        let men = { men_spec = spec; men_state = st; men_stamp = 0 } in
+        mtouch t men;
+        Hashtbl.replace t.modular_registry spec men
+      end;
+      (st, false))
+
+let modular_op t req =
+  let budget = request_budget t req in
+  let spec = network_param req in
+  let mode =
+    match Protocol.string_param req "modules" with
+    | None -> Modular.Auto
+    | Some s -> (
+      match Modular.mode_of_string s with
+      | Some m -> m
+      | None -> Format.kasprintf failwith "bad modules mode %S" s)
+  in
+  let count = Protocol.int_param req "count" in
+  let certify =
+    Option.value ~default:false (Protocol.bool_param req "certify")
+  in
+  let audit = Option.value ~default:false (Protocol.bool_param req "audit") in
+  let st, warm = get_modular t ~budget ~mode ~count ~certify spec in
+  let quarantined =
+    if not audit then []
+    else begin
+      (* Module-level quarantine: a refuted module's engine state is
+         dropped (its rows degrade) while every other module stays warm;
+         each refutation is an incident for the server loop to log. *)
+      let refuted = Modular.self_audit ~budget st in
+      List.iter
+        (fun (m, detail) ->
+          t.n_incidents <- t.n_incidents + 1;
+          t.pending_incidents <-
+            (spec ^ "/" ^ m, detail) :: t.pending_incidents)
+        refuted;
+      List.map fst refuted
+    end
+  in
+  let rp = Modular.report st in
+  [
+    ("network", Json.String spec);
+    ("warm", Json.Bool warm);
+    ("modules", Json.List (modular_health_rows rp));
+    ("routers", Json.Int rp.Modular.rp_routers);
+    ("skipped_anycast", Json.Int rp.Modular.rp_skipped_anycast);
+    ("faulted", Json.Bool (Modular.any_fault rp));
+    ( "quarantined",
+      Json.List (List.map (fun m -> Json.String m) quarantined) );
+  ]
+
 (* Test-only fault injection, enabled by BONSAI_TEST_HOOKS=1: silently
    corrupt one warm abstraction in place — move the largest member of a
    multi-member group into an earlier group (whose least member is
@@ -549,7 +674,9 @@ let audit_op t req =
    the corruption is invisible to shape checks). The abstract graph is
    left stale, which is precisely the wrong-answer state the self-audit
    exists to catch; the chaos suite drives this op and asserts the
-   quarantine-and-rebuild path. *)
+   quarantine-and-rebuild path. With a "module" parameter it targets a
+   warm *modular* module's state instead, so the suite can prove
+   module-level quarantine isolates the refuted module only. *)
 let test_hooks_enabled () =
   match Sys.getenv_opt "BONSAI_TEST_HOOKS" with
   | Some "1" -> true
@@ -557,9 +684,7 @@ let test_hooks_enabled () =
 
 let test_corrupt_op t req =
   let spec = network_param req in
-  match Hashtbl.find_opt t.registry spec with
-  | None -> failwith "network not warm"
-  | Some en ->
+  let corrupt_results results =
     let corrupt_result (r : Bonsai_api.ec_result) =
       let a = r.Bonsai_api.abstraction in
       let groups = a.Abstraction.groups in
@@ -589,11 +714,25 @@ let test_corrupt_op t req =
       in
       find 0
     in
-    let corrupted =
-      List.exists corrupt_result (Incr.summary en.en_state).Bonsai_api.results
-    in
-    if not corrupted then failwith "no multi-member group to corrupt";
-    [ ("network", Json.String spec); ("corrupted", Json.Bool true) ]
+    List.exists corrupt_result results
+  in
+  let results =
+    match Protocol.string_param req "module" with
+    | Some m -> (
+      match Hashtbl.find_opt t.modular_registry spec with
+      | None -> failwith "network not warm (modular)"
+      | Some men -> (
+        match Modular.module_summary men.men_state m with
+        | None -> Format.kasprintf failwith "module %S not warm" m
+        | Some s -> s.Bonsai_api.results))
+    | None -> (
+      match Hashtbl.find_opt t.registry spec with
+      | None -> failwith "network not warm"
+      | Some en -> (Incr.summary en.en_state).Bonsai_api.results)
+  in
+  if not (corrupt_results results) then
+    failwith "no multi-member group to corrupt";
+  [ ("network", Json.String spec); ("corrupted", Json.Bool true) ]
 
 let load_op t req =
   let budget = request_budget t req in
@@ -669,6 +808,7 @@ let dispatch t ~queue_depth (req : Protocol.request) =
   | "load" -> (load_op t req, `Continue)
   | "unload" -> (unload_op t req, `Continue)
   | "audit" -> (audit_op t req, `Continue)
+  | "modular" -> (modular_op t req, `Continue)
   | "test-corrupt" when test_hooks_enabled () ->
     (test_corrupt_op t req, `Continue)
   | "health" -> (health_op t ~queue_depth, `Continue)

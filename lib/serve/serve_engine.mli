@@ -9,7 +9,12 @@
     nothing a client sends can crash the engine.
 
     Ops: [compress], [lint], [flow], [diff], [faults], [harden],
-    [load], [unload], [audit], [health], [stats], [shutdown]. Responses
+    [load], [unload], [audit], [modular], [health], [stats],
+    [shutdown]. [modular] keeps its own warm registry of
+    {!Modular.state}s (per-module engines with per-module fault
+    isolation); with ["audit": true] it self-audits every warm module
+    and quarantines refutations {e module-by-module} — the rest of the
+    network's modules stay warm. Responses
     that acceptance tests diff byte-for-byte (compress in particular)
     carry no wall-clock or cache counters; those live in [stats] only.
 

@@ -1,0 +1,364 @@
+(* Tests for modular compression (lib/modular): the Budget.split
+   isolation primitive, partition determinism, the headline soundness
+   property — composing per-module abstractions equals monolithic
+   compression — and the robustness contract: an injected fault degrades
+   exactly one module, leaving every other module's report identical to
+   the all-healthy run (and the composition still exact, since identity
+   partitions only refine the seed).
+
+   QCheck iteration count scales with FUZZ_COUNT as in test_incr. *)
+
+let fuzz_count =
+  match Option.bind (Sys.getenv_opt "FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 25
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %a" what Bonsai_error.pp e
+
+(* --- Budget.split ----------------------------------------------------- *)
+
+let test_split_quota () =
+  let b = Budget.create ~max_ticks:100 () in
+  let c = Budget.split b ~frac:0.1 in
+  for _ = 1 to 10 do
+    Budget.tick c ~phase:"test"
+  done;
+  (* the child's quota is 10% of the parent's remaining 100 ticks *)
+  (match Budget.tick c ~phase:"test" with
+  | () -> Alcotest.fail "child slice did not exhaust at its quota"
+  | exception Budget.Exhausted _ -> ());
+  (* ...and its work charged the parent, but did not exhaust it *)
+  Alcotest.(check bool) "parent charged" true (Budget.ticks b >= 10);
+  Budget.tick b ~phase:"test";
+  (* a sibling slice carved after the fault is alive and independent *)
+  let c2 = Budget.split b ~frac:0.5 in
+  Budget.tick c2 ~phase:"test"
+
+let test_split_infinite () =
+  Alcotest.(check bool) "split infinite = infinite" true
+    (Budget.is_infinite (Budget.split Budget.infinite ~frac:0.25))
+
+let test_split_cancel_propagates () =
+  let b = Budget.create () in
+  let c = Budget.split b ~frac:0.5 in
+  Budget.cancel b;
+  Alcotest.(check bool) "child sees parent cancel" true (Budget.cancelled c)
+
+let test_split_bad_frac () =
+  let b = Budget.create () in
+  List.iter
+    (fun frac ->
+      match Budget.split b ~frac with
+      | _ -> Alcotest.failf "split accepted frac %g" frac
+      | exception Invalid_argument _ -> ())
+    [ 0.0; -0.5; 1.5 ]
+
+(* --- partition -------------------------------------------------------- *)
+
+let fattree4 () = Synthesis.fattree_shortest_path (Generators.fattree ~k:4)
+let multiwan ~regions ~region_size =
+  (Synthesis.multiwan ~regions ~region_size).Synthesis.net
+
+let covers_exactly net parts =
+  let n = Graph.n_nodes net.Device.graph in
+  let seen = Array.make n 0 in
+  List.iter (fun (_, ms) -> List.iter (fun i -> seen.(i) <- seen.(i) + 1) ms)
+    parts;
+  Array.for_all (fun c -> c = 1) seen
+
+let ok_exn' = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "partition: %s" m
+
+let test_partition_auto_deterministic () =
+  let net = fattree4 () in
+  let p1 = ok_exn' (Modular.partition ~count:3 ~mode:Modular.Auto net)
+  and p2 = ok_exn' (Modular.partition ~count:3 ~mode:Modular.Auto net) in
+  Alcotest.(check bool) "deterministic" true (p1 = p2);
+  (* BFS carving can shed small leftover fragments beyond the requested
+     count, but never fewer regions than asked for *)
+  Alcotest.(check bool) "at least the requested regions" true
+    (List.length p1 >= 3);
+  Alcotest.(check bool) "covers every node once" true (covers_exactly net p1);
+  Alcotest.(check bool) "name-sorted" true
+    (List.sort compare (List.map fst p1) = List.map fst p1)
+
+let test_partition_annot () =
+  let net = multiwan ~regions:3 ~region_size:4 in
+  let p = ok_exn' (Modular.partition ~mode:Modular.Annot net) in
+  Alcotest.(check (list string)) "annotated modules"
+    [ "core"; "region0"; "region1"; "region2" ]
+    (List.map fst p);
+  Alcotest.(check bool) "covers every node once" true (covers_exactly net p)
+
+let test_partition_annot_missing () =
+  match Modular.partition ~mode:Modular.Annot (Synthesis.ring_bgp ~n:4) with
+  | Ok _ -> Alcotest.fail "Annot accepted an unannotated network"
+  | Error m ->
+    Alcotest.(check bool) "diagnostic names the gap" true
+      (Astring_contains.contains m "module annotation")
+
+(* --- compose ≡ monolithic -------------------------------------------- *)
+
+let canon_groups (a : Abstraction.t) =
+  let m = Hashtbl.create 16 in
+  Array.map
+    (fun g ->
+      match Hashtbl.find_opt m g with
+      | Some i -> i
+      | None ->
+        let i = Hashtbl.length m in
+        Hashtbl.add m g i;
+        i)
+    a.Abstraction.group_of
+
+let results_equal (got : Bonsai_api.ec_result list)
+    (want : Bonsai_api.ec_result list) =
+  List.length got = List.length want
+  && List.for_all2
+       (fun (g : Bonsai_api.ec_result) (w : Bonsai_api.ec_result) ->
+         Prefix.equal g.ec.Ecs.ec_prefix w.ec.Ecs.ec_prefix
+         && canon_groups g.abstraction = canon_groups w.abstraction)
+       got want
+
+let check_compose_exact ?(what = "compose") st =
+  let net = Modular.network st in
+  let scratch = ok_exn "scratch" (Bonsai_api.compress net) in
+  let composed = ok_exn what (Modular.compose st) in
+  Alcotest.(check bool)
+    (what ^ " ≡ monolithic")
+    true
+    (results_equal composed.Bonsai_api.results scratch.Bonsai_api.results)
+
+let test_compose_ring () =
+  let st =
+    ok_exn "run" (Modular.run ~mode:Modular.Auto ~count:3 (Synthesis.ring_bgp ~n:9))
+  in
+  check_compose_exact st
+
+let test_compose_fattree () =
+  let st = ok_exn "run" (Modular.run ~mode:Modular.Auto ~count:4 (fattree4 ())) in
+  check_compose_exact st
+
+let test_compose_multiwan_annot () =
+  let st =
+    ok_exn "run"
+      (Modular.run ~mode:Modular.Annot (multiwan ~regions:3 ~region_size:4))
+  in
+  let rep = Modular.report st in
+  Alcotest.(check int) "no faults" 0
+    (List.length
+       (List.filter
+          (fun m -> m.Modular.mr_health <> Modular.Healthy)
+          rep.Modular.rp_modules));
+  check_compose_exact st
+
+let test_certify_clean () =
+  let st =
+    ok_exn "run"
+      (Modular.run ~mode:Modular.Annot ~certify:true
+         (multiwan ~regions:2 ~region_size:3))
+  in
+  Alcotest.(check bool) "no module refuted" false
+    (List.exists
+       (fun m -> m.Modular.mr_health = Modular.Refuted)
+       (Modular.report st).Modular.rp_modules)
+
+(* --- fault isolation -------------------------------------------------- *)
+
+let mr_eq (a : Modular.module_report) (b : Modular.module_report) =
+  (* everything except wall-clock *)
+  a.Modular.mr_name = b.Modular.mr_name
+  && a.Modular.mr_routers = b.Modular.mr_routers
+  && a.Modular.mr_ecs = b.Modular.mr_ecs
+  && a.Modular.mr_concrete = b.Modular.mr_concrete
+  && a.Modular.mr_abstract = b.Modular.mr_abstract
+  && a.Modular.mr_health = b.Modular.mr_health
+  && a.Modular.mr_detail = b.Modular.mr_detail
+
+let check_fault_isolated ~victim net =
+  let healthy = ok_exn "run" (Modular.run ~mode:Modular.Annot net) in
+  let faulted =
+    ok_exn "run faulted"
+      (Modular.run ~mode:Modular.Annot ~inject_fault:[ victim ] net)
+  in
+  let h_rep = Modular.report healthy and f_rep = Modular.report faulted in
+  List.iter2
+    (fun (h : Modular.module_report) (f : Modular.module_report) ->
+      if h.Modular.mr_name = victim then begin
+        Alcotest.(check string) "victim degraded" "degraded"
+          (Modular.health_name f.Modular.mr_health);
+        Alcotest.(check bool) "identity abstraction" true
+          (f.Modular.mr_abstract = f.Modular.mr_concrete);
+        Alcotest.(check bool) "detail names the budget" true
+          (match f.Modular.mr_detail with
+          | Some d -> Astring_contains.contains d "budget exhausted"
+          | None -> false)
+      end
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "%s untouched by %s's fault" h.Modular.mr_name victim)
+          true (mr_eq h f))
+    h_rep.Modular.rp_modules f_rep.Modular.rp_modules;
+  (* the degraded module enters composition as the identity partition —
+     a refinement of the seed — so the composed result is still exact *)
+  check_compose_exact ~what:"compose (faulted)" faulted
+
+let test_fault_isolated () =
+  check_fault_isolated ~victim:"region1" (multiwan ~regions:3 ~region_size:4)
+
+(* --- streaming -------------------------------------------------------- *)
+
+let test_stream () =
+  let rep =
+    ok_exn "run_stream"
+      (Modular.run_stream ~count:3
+         (Synthesis.multiwan_stream ~regions:3 ~region_size:4))
+  in
+  Alcotest.(check int) "3 modules" 3 (List.length rep.Modular.rp_modules);
+  Alcotest.(check bool) "all healthy" false (Modular.any_fault rep);
+  (* region_size routers + 1 env stub per self-contained module subnet *)
+  Alcotest.(check int) "routers" 15 rep.Modular.rp_routers;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (m.Modular.mr_name ^ " compressed")
+        true
+        (m.Modular.mr_abstract < m.Modular.mr_concrete))
+    rep.Modular.rp_modules
+
+(* --- warm-state operations ------------------------------------------- *)
+
+let test_quarantine_rebuild () =
+  let st =
+    ok_exn "run"
+      (Modular.run ~mode:Modular.Annot (multiwan ~regions:3 ~region_size:4))
+  in
+  Alcotest.(check bool) "warm before" true
+    (Option.is_some (Modular.module_summary st "region1"));
+  Alcotest.(check bool) "quarantine" true (Modular.quarantine st "region1");
+  Alcotest.(check bool) "cold after" true
+    (Option.is_none (Modular.module_summary st "region1"));
+  Alcotest.(check bool) "second quarantine is a no-op" false
+    (Modular.quarantine st "region1");
+  (match Modular.rebuild_module st "region1" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rebuild: %a" Bonsai_error.pp e);
+  Alcotest.(check bool) "warm again" true
+    (Option.is_some (Modular.module_summary st "region1"));
+  check_compose_exact ~what:"compose (rebuilt)" st
+
+let test_update_targeted () =
+  let st =
+    ok_exn "run"
+      (Modular.run ~mode:Modular.Annot (multiwan ~regions:3 ~region_size:4))
+  in
+  (* r0n2 is an access router: its only neighbors are region0's two
+     gateways, and a static-table delta touches only the one router, so
+     the edit is interior to one healthy module. (An Acl_set would not
+     qualify: it touches both endpoints, and in multiwan every link has
+     a boundary gateway or core endpoint.) *)
+  let d = Delta.Static_set { node = "r0n2"; routes = [] } in
+  (match Modular.update st [ d ] with
+  | Ok (Some _) -> ()
+  | Ok None -> Alcotest.fail "interior delta fell back to a full re-run"
+  | Error e -> Alcotest.failf "update: %a" Bonsai_error.pp e);
+  check_compose_exact ~what:"compose (updated)" st;
+  (* a structural delta must fall back to a full re-run *)
+  match Modular.update st [ Delta.Node_remove "r2n3" ] with
+  | Ok None -> check_compose_exact ~what:"compose (rebuilt after removal)" st
+  | Ok (Some _) -> Alcotest.fail "structural delta took the targeted path"
+  | Error e -> Alcotest.failf "update (structural): %a" Bonsai_error.pp e
+
+(* --- fuzz ------------------------------------------------------------- *)
+
+let prop_compose =
+  QCheck.Test.make ~count:fuzz_count
+    ~name:"modular compose ≡ monolithic on random small nets"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let net, mode, count =
+        match seed mod 3 with
+        | 0 -> (Synthesis.ring_bgp ~n:(5 + (seed mod 5)), Modular.Auto,
+                Some (2 + (seed mod 3)))
+        | 1 -> (fattree4 (), Modular.Auto, Some (2 + (seed mod 3)))
+        | _ ->
+          ( multiwan ~regions:(2 + (seed mod 2)) ~region_size:(3 + (seed mod 2)),
+            Modular.Annot, None )
+      in
+      match Modular.run ~mode ?count net with
+      | Error e ->
+        QCheck.Test.fail_reportf "run failed: %s"
+          (Format.asprintf "%a" Bonsai_error.pp e)
+      | Ok st -> (
+        let scratch =
+          match Bonsai_api.compress net with
+          | Ok s -> s
+          | Error e ->
+            QCheck.Test.fail_reportf "scratch failed: %s"
+              (Format.asprintf "%a" Bonsai_error.pp e)
+        in
+        match Modular.compose st with
+        | Ok c -> results_equal c.Bonsai_api.results scratch.Bonsai_api.results
+        | Error e ->
+          QCheck.Test.fail_reportf "compose failed: %s"
+            (Format.asprintf "%a" Bonsai_error.pp e)))
+
+let prop_fault_isolation =
+  QCheck.Test.make ~count:fuzz_count
+    ~name:"injected fault degrades only the victim module"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let regions = 2 + (seed mod 2) in
+      let net = multiwan ~regions ~region_size:(3 + (seed mod 2)) in
+      let victim =
+        match seed mod (regions + 1) with
+        | v when v < regions -> Printf.sprintf "region%d" v
+        | _ -> "core"
+      in
+      check_fault_isolated ~victim net;
+      true)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "modular"
+    [
+      ( "budget-split",
+        [
+          Alcotest.test_case "child quota" `Quick test_split_quota;
+          Alcotest.test_case "infinite" `Quick test_split_infinite;
+          Alcotest.test_case "cancel propagates" `Quick
+            test_split_cancel_propagates;
+          Alcotest.test_case "bad frac" `Quick test_split_bad_frac;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "auto deterministic" `Quick
+            test_partition_auto_deterministic;
+          Alcotest.test_case "annotations" `Quick test_partition_annot;
+          Alcotest.test_case "missing annotation" `Quick
+            test_partition_annot_missing;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "ring" `Quick test_compose_ring;
+          Alcotest.test_case "fattree" `Quick test_compose_fattree;
+          Alcotest.test_case "multiwan (annot)" `Quick
+            test_compose_multiwan_annot;
+          Alcotest.test_case "certify clean" `Quick test_certify_clean;
+        ] );
+      ( "fault-isolation",
+        [ Alcotest.test_case "injected fault" `Quick test_fault_isolated ] );
+      ("stream", [ Alcotest.test_case "multiwan-stream" `Quick test_stream ]);
+      ( "warm-state",
+        [
+          Alcotest.test_case "quarantine/rebuild" `Quick
+            test_quarantine_rebuild;
+          Alcotest.test_case "targeted update" `Quick test_update_targeted;
+        ] );
+      qsuite "fuzz" [ prop_compose; prop_fault_isolation ];
+    ]

@@ -183,6 +183,25 @@ let test_checkpoint_roundtrip () =
   | Ok v' -> Alcotest.(check bool) "payload restored" true (v = v')
   | Error e -> Alcotest.failf "load: %a" Checkpoint.pp_load_error e
 
+(* Durability: save must fsync the temp file before the rename and the
+   containing directory after it — a rename-only save (the old path)
+   leaves both the payload and the rename itself in the page cache, so a
+   power cut after "save succeeded" could surface the stale or missing
+   checkpoint. sync_count is the save path's witness counter. *)
+let test_checkpoint_fsync () =
+  with_tmp @@ fun path ->
+  let before = Checkpoint.sync_count () in
+  (match Checkpoint.save ~path [ 7; 8; 9 ] with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "save: %s" m);
+  let synced = Checkpoint.sync_count () - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "save fsyncs file and directory (saw %d)" synced)
+    true (synced >= 2);
+  match (Checkpoint.load ~path : (int list, Checkpoint.load_error) result) with
+  | Ok v -> Alcotest.(check (list int)) "payload intact" [ 7; 8; 9 ] v
+  | Error e -> Alcotest.failf "load: %a" Checkpoint.pp_load_error e
+
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 let write_file path s =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
@@ -620,6 +639,8 @@ let () =
       ( "checkpoint",
         [
           Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "fsync before/after rename" `Quick
+            test_checkpoint_fsync;
           Alcotest.test_case "corruption guards" `Quick test_checkpoint_guards;
         ] );
       ( "engine",
