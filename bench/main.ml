@@ -579,6 +579,160 @@ let incr_bench ?(k = 8) ?(n_deltas = 10) ~json_path ~assert_speedup () =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Differential data-plane compilation (bonsai dataplane-diff)         *)
+(* ------------------------------------------------------------------ *)
+
+type dp_row = {
+  dr_name : string;
+  dr_nodes : int;
+  dr_classes : int;
+  dr_t_full : float;
+  dr_t_incr : float;
+  dr_reused : int;
+  dr_recompiled : int;
+  dr_changes : int;
+}
+
+(* Full data-plane recompilation vs incremental dataplane-diff on a
+   single OSPF link-cost edit.
+
+   Fattree: the OSPF underlay carries no monitored prefix (with_ospf
+   above), so the differ must prove the edit irrelevant per class and
+   reuse everything — this row is the acceptance metric. WAN (multiwan):
+   OSPF redistributes into BGP, making OSPF-liveness a whole-network
+   property of every class, so a cost edit honestly recompiles all of
+   them; the row is reported for scale, not asserted (DESIGN.md §17). *)
+(* The WAN row's network: multiwan with an OSPF underlay on the core
+   ring that redistributes into BGP. Redistribution makes OSPF-liveness
+   a whole-network property of every destination class, so a core
+   link-cost edit honestly dirties all of them — the contrast row to the
+   fattree's total reuse. *)
+let multiwan_with_ospf ~regions ~region_size =
+  let net = (Synthesis.multiwan ~regions ~region_size).Synthesis.net in
+  let g = net.Device.graph in
+  let core u =
+    let n = Graph.name g u in
+    String.length n >= 4 && String.sub n 0 4 = "core"
+  in
+  {
+    net with
+    Device.routers =
+      Array.mapi
+        (fun u r ->
+          if not (core u) then r
+          else
+            {
+              r with
+              Device.ospf_links =
+                Array.to_list (Graph.succ g u)
+                |> List.filter core
+                |> List.map (fun v -> (v, { Device.cost = 1; area = 0 }));
+              redistribute = [ Multi.Ospf_into_bgp; Multi.Bgp_into_ospf ];
+            })
+        net.Device.routers;
+  }
+
+let dataplane_bench ?(k = 8) ~json_path ~assert_speedup () =
+  hr "Differential data-plane compilation (bonsai dataplane-diff)";
+  let row name (old_net : Device.network) =
+    let ospf_edge =
+      List.find_opt
+        (fun (u, v) ->
+          Option.is_some (Device.ospf_link_config old_net.Device.routers.(u) v)
+          && Option.is_some
+               (Device.ospf_link_config old_net.Device.routers.(v) u))
+        (Graph.edges old_net.Device.graph)
+    in
+    match ospf_edge with
+    | None -> fail "dataplane bench: %s has no OSPF edge to edit" name
+    | Some (u, v) ->
+      let g = old_net.Device.graph in
+      let d =
+        Delta.Ospf_cost
+          { node = Graph.name g u; nbr = Graph.name g v; cost = 7 }
+      in
+      let new_net = Delta.apply old_net [ d ] in
+      let protocol = Dataplane.detect_protocol new_net in
+      (* the honest baseline: compile the changed network's entire data
+         plane from scratch, as a non-incremental pipeline would *)
+      let full, t_full =
+        Timing.time (fun () -> Dataplane.of_network ~protocol new_net)
+      in
+      (* warm-state scenario (the serve op): the signature cache already
+         exists; the differ proves classes untouched through it *)
+      let cache = Sig_cache.create old_net in
+      let rep, t_incr =
+        Timing.time (fun () ->
+            match Dp_diff.run ~cache ~old_net ~new_net [ d ] with
+            | Ok rep -> rep
+            | Error e -> fail "dataplane diff: %a" Bonsai_error.pp e)
+      in
+      if rep.Dp_diff.dp_unknown <> [] then
+        fail "dataplane bench: %d classes unknown"
+          (List.length rep.Dp_diff.dp_unknown);
+      let r =
+        {
+          dr_name = name;
+          dr_nodes = Graph.n_nodes g;
+          dr_classes = rep.Dp_diff.dp_classes;
+          dr_t_full = t_full;
+          dr_t_incr = t_incr;
+          dr_reused = rep.Dp_diff.dp_reused;
+          dr_recompiled = rep.Dp_diff.dp_recompiled;
+          dr_changes = List.length rep.Dp_diff.dp_changes;
+        }
+      in
+      Printf.printf
+        "%-24s %5d nodes %5d classes %9.4fs full %9.4fs incr %8.1fx \
+         %5d reused %5d recompiled %4d changes (%d entries)\n\
+         %!"
+        r.dr_name r.dr_nodes r.dr_classes r.dr_t_full r.dr_t_incr
+        (r.dr_t_full /. max 1e-9 r.dr_t_incr)
+        r.dr_reused r.dr_recompiled r.dr_changes
+        (Dataplane.n_entries full);
+      r
+  in
+  let ft =
+    row
+      (Printf.sprintf "fattree (k=%d)" k)
+      (with_ospf (Synthesis.fattree_shortest_path (Generators.fattree ~k)))
+  in
+  let wan =
+    row "multiwan (4x10)" (multiwan_with_ospf ~regions:4 ~region_size:10)
+  in
+  let speedup r = r.dr_t_full /. max 1e-9 r.dr_t_incr in
+  let row_json r =
+    Printf.sprintf
+      "    {\"topology\": \"%s\", \"nodes\": %d, \"classes\": %d, \
+       \"t_full_s\": %.6f, \"t_incr_s\": %.6f, \"speedup\": %.2f, \
+       \"reused\": %d, \"recompiled\": %d, \"fib_changes\": %d}"
+      r.dr_name r.dr_nodes r.dr_classes r.dr_t_full r.dr_t_incr (speedup r)
+      r.dr_reused r.dr_recompiled r.dr_changes
+  in
+  let doc =
+    Printf.sprintf
+      "{\n\
+      \  \"k\": %d,\n\
+      \  \"single_link_cost_speedup\": %.2f,\n\
+      \  \"rows\": [\n%s\n  ]\n\
+       }\n"
+      k (speedup ft)
+      (String.concat ",\n" (List.map row_json [ ft; wan ]))
+  in
+  let oc = open_out json_path in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" json_path;
+  match assert_speedup with
+  | Some min_s when speedup ft < min_s ->
+    Printf.eprintf
+      "FAIL: fattree single link-cost dataplane speedup %.2fx below \
+       required %.2fx\n"
+      (speedup ft) min_s;
+    exit 1
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Resident engine (bonsai serve)                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -977,7 +1131,7 @@ let () =
   let usage () =
     prerr_endline
       "usage: bench/main.exe \
-       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|incr|serve|certify|modular|micro|all] \
+       [table1a|table1b|figure11|figure12|batfish-query|ablation-bdd|ablation-uu|faults|harden|incr|dataplane|serve|certify|modular|micro|all] \
        [--timeout SECONDS] [--samples N] [--k K] [--deltas N] \
        [--regions N] [--region-size N] [--json FILE] \
        [--assert-speedup MIN] [--assert-overhead MAX]";
@@ -1055,6 +1209,13 @@ let () =
       | "incr" ->
         incr_bench ~k:!k ~n_deltas:!n_deltas ~json_path:!json_path
           ~assert_speedup:!assert_speedup ()
+      | "dataplane" ->
+        let json_path =
+          if String.equal !json_path "BENCH_incr.json" then
+            "BENCH_dataplane.json"
+          else !json_path
+        in
+        dataplane_bench ~k:!k ~json_path ~assert_speedup:!assert_speedup ()
       | "serve" ->
         (* --json is shared with incr; redirect its default here *)
         let json_path =

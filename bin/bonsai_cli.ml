@@ -223,8 +223,46 @@ let run_certify ~budget ~audit ~certificate net cert =
     Bonsai_error.error
       (Bonsai_error.Certificate_failure (Certify.failures_string fs))
 
-let compress_cmd_run spec ec_prefix dot all check format budget_ms
-    budget_ticks degrade certify audit certificate modules =
+(* --check-dataplane: compile the concrete and abstract FIBs per class
+   and trace every destination from every role representative through
+   both (lib/dataplane's bisimulation check). A diverging witness is a
+   soundness break (exit 7) — like a refuted certificate, it must never
+   be masked by --degrade. Text goes to stdout; under --format json it
+   goes to stderr so the JSON document stays golden-testable. *)
+let run_check_dataplane ~budget ~format net
+    (results : Bonsai_api.ec_result list) =
+  let emit s =
+    match format with `Text -> print_endline s | `Json -> prerr_endline s
+  in
+  match Dp_bisim.check ~budget net results with
+  | Dp_bisim.Equivalent { classes; traces } ->
+    emit
+      (Printf.sprintf "dataplane: %d class%s bisimulate (%d traces compared)"
+         classes
+         (if classes = 1 then "" else "es")
+         traces);
+    `Ok
+  | Dp_bisim.Incomplete { classes; unknown; _ } ->
+    emit
+      (Printf.sprintf "dataplane: %d classes checked, %d UNKNOWN" classes
+         (List.length unknown));
+    `Incomplete
+  | Dp_bisim.Refuted rf ->
+    let t =
+      match
+        List.find_opt
+          (fun (r : Bonsai_api.ec_result) ->
+            Prefix.equal r.Bonsai_api.ec.Ecs.ec_prefix rf.Dp_bisim.rf_prefix)
+          results
+      with
+      | Some r -> r.Bonsai_api.abstraction
+      | None -> assert false
+    in
+    Bonsai_error.error
+      (Bonsai_error.Soundness_break (Dp_bisim.refutation_string net t rf))
+
+let compress_cmd_run spec ec_prefix dot all check check_dataplane format
+    budget_ms budget_ticks degrade certify audit certificate modules =
   guarded @@ fun () ->
   let net = resolve_network spec in
   let budget = make_budget budget_ms budget_ticks in
@@ -315,6 +353,11 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
       Format.printf "  \"bdd\": %s@." bdd;
       Format.printf "}@.";
       report_budget ());
+    let dp_status =
+      if check_dataplane then
+        run_check_dataplane ~budget ~format net s.Bonsai_api.results
+      else `Ok
+    in
     let cert_status =
       if certify then
         run_certify ~budget ~audit ~certificate net
@@ -325,9 +368,9 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
     | Some _, _ -> degrade_exit 3
     | None, false -> degrade_exit 1
     | None, true -> (
-      match cert_status with
-      | `Incomplete -> degrade_exit 3
-      | `Certified | `Skipped -> 0)
+      match (dp_status, cert_status) with
+      | `Incomplete, _ | _, `Incomplete -> degrade_exit 3
+      | `Ok, (`Certified | `Skipped) -> 0)
   end
   else begin
     let ec = find_ec net ec_prefix in
@@ -447,6 +490,10 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
       Format.printf "}@.";
       Printf.eprintf "compression time: %.3fs\n%!" r.Bonsai_api.time_s);
     report_budget ();
+    let dp_status =
+      if check_dataplane then run_check_dataplane ~budget ~format net [ r ]
+      else `Ok
+    in
     let cert_status =
       if certify then
         run_certify ~budget ~audit ~certificate net
@@ -455,9 +502,9 @@ let compress_cmd_run spec ec_prefix dot all check format budget_ms
     in
     match why with
     | None -> (
-      match cert_status with
-      | `Incomplete -> degrade_exit 3
-      | `Certified | `Skipped -> 0)
+      match (dp_status, cert_status) with
+      | `Incomplete, _ | _, `Incomplete -> degrade_exit 3
+      | `Ok, (`Certified | `Skipped) -> 0)
     | Some (`Budget _) -> degrade_exit 3
     | Some `Check -> degrade_exit 1
   end
@@ -619,6 +666,121 @@ let diff_cmd_run old_spec new_spec format budget_ms budget_ticks degrade
       | `Incomplete when not degrade -> 3
       | _ -> 1)
   end
+
+(* --- dataplane-diff: differential FIB compilation --------------------- *)
+
+let dataplane_diff_cmd_run old_spec new_spec format budget_ms budget_ticks
+    degrade =
+  guarded @@ fun () ->
+  let old_net = resolve_network old_spec in
+  let new_net = resolve_network new_spec in
+  let budget = make_budget budget_ms budget_ticks in
+  let deltas = Delta.diff old_net new_net in
+  let rep =
+    match Dp_diff.run ~budget ~old_net ~new_net deltas with
+    | Ok rep -> rep
+    | Error e -> Bonsai_error.error e
+  in
+  let name u = Graph.name new_net.Device.graph u in
+  let old_name u = Graph.name old_net.Device.graph u in
+  let hops nm = function
+    | None -> "-"
+    | Some (e : Dataplane.entry) ->
+      let nhs = String.concat "," (List.map nm e.Dataplane.e_next_hops) in
+      let dropped =
+        match e.Dataplane.e_acl_dropped with
+        | [] -> ""
+        | ds ->
+          Printf.sprintf " (acl-dropped %s)"
+            (String.concat "," (List.map nm ds))
+      in
+      Printf.sprintf "[%s]%s" nhs dropped
+  in
+  let added, removed, modified = Dp_diff.counts rep in
+  (match format with
+  | `Text ->
+    Format.printf "deltas (%d):@." (List.length deltas);
+    List.iter (fun d -> Format.printf "  - %a@." Delta.pp d) deltas;
+    Format.printf "classes: %d (%d reused, %d recompiled)%s@."
+      rep.Dp_diff.dp_classes rep.Dp_diff.dp_reused rep.Dp_diff.dp_recompiled
+      (if rep.Dp_diff.dp_full_rebuild then " [full rebuild]" else "");
+    Format.printf "fib changes: %d added, %d removed, %d modified@." added
+      removed modified;
+    List.iter
+      (fun (c : Dp_diff.change) ->
+        let router =
+          match c.Dp_diff.c_kind with
+          | Dp_diff.Removed -> old_name c.Dp_diff.c_router
+          | _ -> name c.Dp_diff.c_router
+        in
+        let sym =
+          match c.Dp_diff.c_kind with
+          | Dp_diff.Added -> "+"
+          | Dp_diff.Removed -> "-"
+          | Dp_diff.Modified -> "~"
+        in
+        Format.printf "  %s %s %a: %s -> %s@." sym router Prefix.pp
+          c.Dp_diff.c_prefix
+          (hops old_name c.Dp_diff.c_old)
+          (hops name c.Dp_diff.c_new))
+      rep.Dp_diff.dp_changes;
+    List.iter
+      (fun p -> Format.printf "  ? %a: unknown (not compiled)@." Prefix.pp p)
+      rep.Dp_diff.dp_unknown;
+    (match rep.Dp_diff.dp_degradation with
+    | None -> ()
+    | Some d -> Format.printf "@[<v>%a@]@." Bonsai_api.pp_degradation d)
+  | `Json ->
+    let change_json (c : Dp_diff.change) =
+      let entry_json nm = function
+        | None -> "null"
+        | Some (e : Dataplane.entry) ->
+          Printf.sprintf "{\"next_hops\": [%s], \"acl_dropped\": [%s]}"
+            (String.concat ","
+               (List.map (fun u -> json_string (nm u)) e.Dataplane.e_next_hops))
+            (String.concat ","
+               (List.map (fun u -> json_string (nm u)) e.Dataplane.e_acl_dropped))
+      in
+      let router =
+        match c.Dp_diff.c_kind with
+        | Dp_diff.Removed -> old_name c.Dp_diff.c_router
+        | _ -> name c.Dp_diff.c_router
+      in
+      Printf.sprintf
+        "{\"router\": %s, \"prefix\": %s, \"kind\": %s, \"old\": %s, \
+         \"new\": %s}"
+        (json_string router)
+        (json_string (Format.asprintf "%a" Prefix.pp c.Dp_diff.c_prefix))
+        (json_string (Dp_diff.kind_string c.Dp_diff.c_kind))
+        (entry_json old_name c.Dp_diff.c_old)
+        (entry_json name c.Dp_diff.c_new)
+    in
+    Format.printf "{@.";
+    Format.printf "  \"identical\": %b,@."
+      (not (Dp_diff.changed rep) && rep.Dp_diff.dp_unknown = []);
+    Format.printf "  \"deltas\": [%s],@." (deltas_json deltas);
+    Format.printf
+      "  \"classes\": %d, \"reused\": %d, \"recompiled\": %d, \
+       \"anycast\": %d, \"full_rebuild\": %b,@."
+      rep.Dp_diff.dp_classes rep.Dp_diff.dp_reused rep.Dp_diff.dp_recompiled
+      rep.Dp_diff.dp_anycast rep.Dp_diff.dp_full_rebuild;
+    Format.printf "  \"added\": %d, \"removed\": %d, \"modified\": %d,@."
+      added removed modified;
+    Format.printf "  \"changes\": [%s],@."
+      (String.concat "," (List.map change_json rep.Dp_diff.dp_changes));
+    Format.printf "  \"unknown\": [%s],@."
+      (String.concat ","
+         (List.map
+            (fun p -> json_string (Format.asprintf "%a" Prefix.pp p))
+            rep.Dp_diff.dp_unknown));
+    Format.printf "  \"degradation\": %s@."
+      (degradation_json rep.Dp_diff.dp_degradation);
+    Format.printf "}@.");
+  Printf.eprintf "dataplane-diff: %d classes diffed in %.3fs\n%!"
+    rep.Dp_diff.dp_classes rep.Dp_diff.dp_time_s;
+  match rep.Dp_diff.dp_unknown with
+  | _ :: _ when not degrade -> 3
+  | _ -> if Dp_diff.changed rep then 1 else 0
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
@@ -1746,6 +1908,18 @@ let compress_cmd =
             "Independently re-validate the effective-abstraction conditions \
              (paper Figure 4) on the result; exit 1 on any violation.")
   in
+  let check_dataplane =
+    Arg.(
+      value & flag
+      & info [ "check-dataplane" ]
+          ~doc:
+            "Compile the concrete and abstract per-class forwarding tables \
+             (LPM FIBs with ACLs folded in) and check they bisimulate: \
+             trace every destination class from every role representative \
+             through both. A diverging (router, prefix, path) witness is a \
+             soundness break (exit 7, never masked by $(b,--degrade)); \
+             classes the budget leaves unchecked exit 3.")
+  in
   let modules =
     Arg.(
       value
@@ -1762,8 +1936,8 @@ let compress_cmd =
     (cmd_info "compress" ~doc:"Compress a network for one destination class")
     Term.(
       const compress_cmd_run $ network_arg $ ec_arg $ dot $ all $ check
-      $ format_arg $ budget_ms_arg $ budget_ticks_arg $ degrade_arg
-      $ certify_flag $ audit_arg $ certificate_arg $ modules)
+      $ check_dataplane $ format_arg $ budget_ms_arg $ budget_ticks_arg
+      $ degrade_arg $ certify_flag $ audit_arg $ certificate_arg $ modules)
 
 let modular_cmd =
   let mode =
@@ -1839,6 +2013,38 @@ let diff_cmd =
       const diff_cmd_run $ old_arg $ new_arg $ format_arg $ budget_ms_arg
       $ budget_ticks_arg $ degrade_arg $ certify_flag $ audit_arg
       $ certificate_arg)
+
+let dataplane_diff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD"
+          ~doc:"Old network specification (e.g. file:PATH or fattree:4).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"New network specification.")
+  in
+  Cmd.v
+    (cmd_info "dataplane-diff"
+       ~doc:
+         "Report the exact forwarding-table changes a configuration change \
+          produces: per (router, prefix), added/removed/modified FIB \
+          entries with old and new ECMP next-hop sets and ACL-induced \
+          drops. Destination classes whose solution is provably untouched \
+          by the deltas (same origins, equal policy signatures on every \
+          touched-incident edge, stable OSPF liveness) are reused without \
+          recompilation — only dirty classes are recompiled on both \
+          networks. Exit 0 when the data planes are identical, 1 when any \
+          entry changed, 3 when the budget left classes unknown (without \
+          $(b,--degrade); unknown classes are always listed, never \
+          silently omitted).")
+    Term.(
+      const dataplane_diff_cmd_run $ old_arg $ new_arg $ format_arg
+      $ budget_ms_arg $ budget_ticks_arg $ degrade_arg)
 
 let watch_cmd =
   let path_arg =
@@ -2262,7 +2468,8 @@ let serve_cmd =
     (cmd_info "serve"
        ~doc:
          "Run the resident engine: NDJSON requests (compress, lint, flow, \
-          diff, faults, harden, load, unload, health, stats, shutdown) \
+          diff, dataplane-diff, faults, harden, load, unload, health, \
+          stats, shutdown) \
           over a unix/TCP socket or stdio, against a registry of warm \
           networks. Every request runs under its own budget clamped by the \
           server-wide $(b,--budget-ms)/$(b,--budget-ticks); overload sheds \
@@ -2356,4 +2563,4 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "bonsai" ~version:"1.0.0" ~doc ~exits)
-          [ info_cmd; compress_cmd; modular_cmd; certify_cmd; diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd; serve_cmd; request_cmd ]))
+          [ info_cmd; compress_cmd; modular_cmd; certify_cmd; diff_cmd; dataplane_diff_cmd; watch_cmd; lint_cmd; flow_cmd; verify_cmd; roles_cmd; export_cmd; policy_cmd; explain_cmd; trace_cmd; faults_cmd; harden_cmd; serve_cmd; request_cmd ]))

@@ -99,10 +99,18 @@ let bgp_neighbor_config r u = List.assoc_opt u r.bgp_neighbors
 let ospf_link_config r u = List.assoc_opt u r.ospf_links
 let acl_for r u = List.assoc_opt u r.acl_out
 
+(* Longest-prefix match among the static routes covering [dest]; routes
+   of equal (maximal) length all contribute next hops (static ECMP). *)
 let static_next_hops r ~dest =
+  let matching =
+    List.filter (fun (p, _) -> Prefix.subset dest p) r.static_routes
+  in
+  let best =
+    List.fold_left (fun m (p, _) -> max m (Prefix.length p)) (-1) matching
+  in
   List.filter_map
-    (fun (p, nh) -> if Prefix.subset dest p then Some nh else None)
-    r.static_routes
+    (fun (p, nh) -> if Prefix.length p = best then Some nh else None)
+    matching
 
 let config_lines net =
   let rm_lines = function

@@ -59,7 +59,9 @@ val ospf_link_config : router -> int -> ospf_link option
 val acl_for : router -> int -> Acl.t option
 
 val static_next_hops : router -> dest:Prefix.t -> int list
-(** Next hops of static routes whose prefix covers [dest]. *)
+(** Next hops of the longest-matching static routes covering [dest].
+    Several routes of the same (maximal) prefix length yield multiple
+    next hops (static ECMP); less specific covering routes lose. *)
 
 val config_lines : network -> int
 (** A crude count of configuration "lines" (for reporting network scale,

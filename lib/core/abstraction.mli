@@ -91,7 +91,13 @@ val link_image : t -> int * int -> (int * int) list
 
 val repr_edge : t -> int -> int -> int * int
 (** [repr_edge t û v̂] is a concrete edge [(u, v)] with [u 7→ û], [v 7→ v̂]
-    (groups taken up to copies). @raise Not_found if no such edge. *)
+    (groups taken up to copies). @raise Not_found if no such edge.
+    Rebuilds the representative table on every call — use
+    {!edge_repr_fun} for repeated lookups. *)
+
+val edge_repr_fun : t -> int -> int -> int * int
+(** Memoized {!repr_edge}: builds the representative table once and
+    returns the lookup closure. @raise Not_found as {!repr_edge}. *)
 
 val h_attr : t -> fr:(int -> int) -> Bgp.attr -> Bgp.attr
 (** The attribute abstraction [h] for BGP (§4.3 and §8):

@@ -224,11 +224,9 @@ let ec_seedable ~prefs_trivial (net : Device.network) (ec : Ecs.ec) =
    BDD ids are directly comparable; only edges incident to touched
    routers are queried (a signature depends only on its two endpoints'
    configurations). *)
-let unchanged_ec ~old_net ~new_net ~cache ~touched (ec : Ecs.ec)
-    (old_r : Bonsai_api.ec_result) =
+let solution_unchanged ~old_net ~new_net ~cache ~touched (ec : Ecs.ec) =
   let dest = Ecs.single_origin ec in
-  old_r.Bonsai_api.ec.Ecs.ec_origins = ec.Ecs.ec_origins
-  && (not (List.mem dest touched))
+  (not (List.mem dest touched))
   (* signatures are local to their endpoints ONLY while the class's
      OSPF-liveness (a whole-network property) is stable across the
      delta; a flip changes signatures on OSPF edges anywhere *)
@@ -251,6 +249,11 @@ let unchanged_ec ~old_net ~new_net ~cache ~touched (ec : Ecs.ec)
            (fun v -> sig_old u v = sig_new u v && sig_old v u = sig_new v u)
            (Graph.succ new_net.Device.graph u))
     touched
+
+let unchanged_ec ~old_net ~new_net ~cache ~touched (ec : Ecs.ec)
+    (old_r : Bonsai_api.ec_result) =
+  old_r.Bonsai_api.ec.Ecs.ec_origins = ec.Ecs.ec_origins
+  && solution_unchanged ~old_net ~new_net ~cache ~touched ec
 
 (* ------------------------------------------------------------------ *)
 
@@ -415,6 +418,7 @@ let recompress_net ?budget ?recertify st net' =
   | Error e -> Error e
 
 let network st = st.net
+let sig_cache st = st.cache
 
 let summary st =
   {

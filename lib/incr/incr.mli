@@ -129,6 +129,28 @@ val ec_seedable : prefs_trivial:bool -> Device.network -> Ecs.ec -> bool
     is exactly [{default}]. *)
 
 val network : state -> Device.network
+
+val sig_cache : state -> Sig_cache.t
+(** The state's policy-signature cache, for read-only composition: the
+    data-plane differ ({!Dp_diff} in lib/dataplane) proves classes
+    untouched through the same cache so BDD ids stay comparable. *)
+
+val solution_unchanged :
+  old_net:Device.network ->
+  new_net:Device.network ->
+  cache:Sig_cache.t ->
+  touched:int list ->
+  Ecs.ec ->
+  bool
+(** The clean-class check at the heart of {!recompress}, exposed for
+    data-plane reuse: the class's stable solution (and hence its FIB,
+    since ACLs are part of the edge signature) is provably identical
+    across the delta. [touched] are the routers any delta touches
+    ([Delta.touched], deduplicated); both networks must share the same
+    topology (the caller gates topology/node deltas) and [cache] must be
+    {!Sig_cache.compatible} with both. The class's origins are the
+    caller's obligation to compare. *)
+
 val summary : state -> Bonsai_api.summary
 (** The maintained per-class results, shaped like a fresh
     [Bonsai_api.compress] summary (times are those of the computation

@@ -25,6 +25,8 @@ let of_string s =
 let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.addr) p.len
 let pp ppf p = Format.pp_print_string ppf (to_string p)
 
+let length p = p.len
+
 let compare a b =
   match Int.compare (Ipv4.to_int a.addr) (Ipv4.to_int b.addr) with
   | 0 -> Int.compare a.len b.len

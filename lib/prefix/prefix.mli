@@ -15,6 +15,9 @@ val pp : Format.formatter -> t -> unit
 val compare : t -> t -> int
 val equal : t -> t -> bool
 
+(** Mask length in bits (0..32). *)
+val length : t -> int
+
 val mem : Ipv4.t -> t -> bool
 (** [mem a p] holds when address [a] lies inside prefix [p]. *)
 

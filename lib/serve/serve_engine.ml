@@ -329,6 +329,82 @@ let diff_op t req =
         ("recert_refuted", Json.Int rep.Incr.r_recert_refuted);
       ]
 
+(* Pre-deployment change review at warm-cache latency: diff the data
+   planes of the warm network and a proposed one. Read-only with respect
+   to the warm state — the registry entry, its results and its signature
+   cache are only consulted (so no audit_dirty, and a follow-up diff/
+   compress still sees the old network); only dirty destination classes
+   are recompiled, on both networks. *)
+let dataplane_diff_op t req =
+  let budget = request_budget t req in
+  let spec = network_param req in
+  let to_spec = Protocol.require_string req "to" in
+  let st, _ = get_state t ~budget spec in
+  let old_net = Incr.network st in
+  let new_net = t.resolve to_spec in
+  let deltas = Delta.diff old_net new_net in
+  match
+    Dp_diff.run ~budget ~cache:(Incr.sig_cache st) ~old_net ~new_net deltas
+  with
+  | Error e -> Bonsai_error.error e
+  | Ok rep ->
+    check_degradation req rep.Dp_diff.dp_degradation;
+    let added, removed, modified = Dp_diff.counts rep in
+    let name net u = Graph.name net.Device.graph u in
+    let entry_json net = function
+      | None -> Json.Null
+      | Some (e : Dataplane.entry) ->
+        Json.Obj
+          [
+            ( "next_hops",
+              Json.List
+                (List.map
+                   (fun u -> Json.String (name net u))
+                   e.Dataplane.e_next_hops) );
+            ( "acl_dropped",
+              Json.List
+                (List.map
+                   (fun u -> Json.String (name net u))
+                   e.Dataplane.e_acl_dropped) );
+          ]
+    in
+    let change_row (c : Dp_diff.change) =
+      let router_net =
+        match c.Dp_diff.c_kind with
+        | Dp_diff.Removed -> old_net
+        | _ -> new_net
+      in
+      Json.Obj
+        [
+          ("router", Json.String (name router_net c.Dp_diff.c_router));
+          ("prefix", Json.String (prefix_str c.Dp_diff.c_prefix));
+          ("kind", Json.String (Dp_diff.kind_string c.Dp_diff.c_kind));
+          ("old", entry_json old_net c.Dp_diff.c_old);
+          ("new", entry_json new_net c.Dp_diff.c_new);
+        ]
+    in
+    [
+      ("network", Json.String spec);
+      ("to", Json.String to_spec);
+      ("deltas", Json.Int (List.length deltas));
+      ("changed", Json.Bool (Dp_diff.changed rep));
+      ("classes", Json.Int rep.Dp_diff.dp_classes);
+      ("reused", Json.Int rep.Dp_diff.dp_reused);
+      ("recompiled", Json.Int rep.Dp_diff.dp_recompiled);
+      ("full_rebuild", Json.Bool rep.Dp_diff.dp_full_rebuild);
+      ("added", Json.Int added);
+      ("removed", Json.Int removed);
+      ("modified", Json.Int modified);
+      ("changes", Json.List (List.map change_row rep.Dp_diff.dp_changes));
+      ( "unknown",
+        Json.List
+          (List.map
+             (fun p -> Json.String (prefix_str p))
+             rep.Dp_diff.dp_unknown) );
+      ( "degraded",
+        Json.Bool (Option.is_some rep.Dp_diff.dp_degradation) );
+    ]
+
 let faults_op t req =
   let budget = request_budget t req in
   let spec = network_param req in
@@ -803,6 +879,7 @@ let dispatch t ~queue_depth (req : Protocol.request) =
   | "lint" -> (lint_op t req, `Continue)
   | "flow" -> (flow_op t req, `Continue)
   | "diff" -> (diff_op t req, `Continue)
+  | "dataplane-diff" -> (dataplane_diff_op t req, `Continue)
   | "faults" -> (faults_op t req, `Continue)
   | "harden" -> (harden_op t req, `Continue)
   | "load" -> (load_op t req, `Continue)

@@ -2,8 +2,9 @@
 # Soak the resident engine over a real unix socket — the transport the
 # golden --stdio tests cannot cover. Phases:
 #
-#   1. mixed request stream; typed errors (budget-exceeded, bad
-#      request) must stay typed and map to the documented exit codes
+#   1. mixed request stream (including dataplane-diff against the warm
+#      incremental state); typed errors (budget-exceeded, bad request)
+#      must stay typed and map to the documented exit codes
 #   2. SIGTERM mid-stream: drain, checkpoint, exit 0
 #   3. restart: warm restore; compress response byte-identical to cold
 #   4. kill -9: the periodic checkpoint (--checkpoint-every 1) survives
@@ -81,6 +82,18 @@ req 0 "$DIR/r.json" compress --network ring:6 --ec 10.0.1.0/24
 req 0 "$DIR/r.json" lint --network ring:6
 req 0 "$DIR/r.json" flow --network ring:6
 req 0 "$DIR/r.json" diff --network ring:6 --to ring:6
+# dataplane-diff against the warm state: identical specs reuse every
+# class; a topology change reports FIB-level changes; a starved request
+# fails typed without poisoning the server
+req 0 "$DIR/dpd.json" dataplane-diff --network ring:6 --to ring:6
+grep -q '"changed":false' "$DIR/dpd.json" ||
+  fail "identical dataplane-diff reported changes: $(cat "$DIR/dpd.json")"
+grep -q '"reused":6' "$DIR/dpd.json" ||
+  fail "warm dataplane-diff did not reuse all classes: $(cat "$DIR/dpd.json")"
+req 0 "$DIR/dpd2.json" dataplane-diff --network ring:6 --to ring:8
+grep -q '"changed":true' "$DIR/dpd2.json" ||
+  fail "grown-ring dataplane-diff saw no changes: $(cat "$DIR/dpd2.json")"
+req 3 "$DIR/r.json" dataplane-diff --network mesh:4 --to ring:6 --budget-ticks 1
 req 0 "$DIR/r.json" stats
 # request isolation: a starved request fails typed, the server lives on
 req 3 "$DIR/r.json" compress --network mesh:4 --budget-ticks 1

@@ -492,8 +492,11 @@ let test_static_next_hops () =
         ];
     }
   in
-  Alcotest.(check (list int)) "both matching statics" [ 1; 2 ]
+  (* longest match wins among covering statics: /16 beats /8 *)
+  Alcotest.(check (list int)) "most specific static wins" [ 2 ]
     (Device.static_next_hops r ~dest:(Prefix.of_string "10.1.2.0/24"));
+  Alcotest.(check (list int)) "less specific still covers the rest" [ 1 ]
+    (Device.static_next_hops r ~dest:(Prefix.of_string "10.2.0.0/16"));
   Alcotest.(check (list int)) "outside" []
     (Device.static_next_hops r ~dest:(Prefix.of_string "172.16.0.0/16"))
 

@@ -1,0 +1,455 @@
+(* Tests for lib/dataplane: FIB compilation corner cases (LPM on
+   overlapping prefixes, static ECMP, first-match ACL semantics, dangling
+   next hops), the differential compiler (Dp_diff: reuse proofs, change
+   reports, budget degradation), and the concrete↔abstract data-plane
+   bisimulation (Dp_bisim) — including the property that compression
+   results bisimulate on random networks and that a corrupted
+   abstraction is refuted with a typed witness.
+
+   QCheck iterations default small; scale with FUZZ_COUNT. *)
+
+let fuzz_count =
+  match Option.bind (Sys.getenv_opt "FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 25
+
+let p_of = Prefix.of_string
+let a_of = Ipv4.of_string
+
+(* --- FIB corner cases -------------------------------------------------- *)
+
+(* d1(0) -- m(1) -- d2(2): d1 owns 10.0.0.0/16, d2 the nested
+   10.0.0.0/24. LPM at m must send /24 addresses right and the rest of
+   the /16 left. *)
+let overlap_net () =
+  let g = Graph.of_links ~n:3 [ (0, 1); (1, 2) ] in
+  let p16 = p_of "10.0.0.0/16" and p24 = p_of "10.0.0.0/24" in
+  let routers =
+    [|
+      { (Device.default_router "d1") with Device.originated = [ p16 ] };
+      {
+        (Device.default_router "m") with
+        Device.static_routes = [ (p16, 0); (p24, 2) ];
+      };
+      { (Device.default_router "d2") with Device.originated = [ p24 ] };
+    |]
+  in
+  { Device.graph = g; routers }
+
+let test_lpm_overlap () =
+  let dp = Dataplane.of_network ~protocol:`Multi (overlap_net ()) in
+  Alcotest.(check (list int)) "/24 wins at m" [ 2 ]
+    (Dataplane.lookup dp 1 (a_of "10.0.0.5"));
+  Alcotest.(check (list int)) "/16 covers the rest" [ 0 ]
+    (Dataplane.lookup dp 1 (a_of "10.0.77.5"));
+  (match Dataplane.trace dp ~src:1 (a_of "10.0.0.5") with
+  | Dataplane.Delivered [ 1; 2 ] -> ()
+  | _ -> Alcotest.fail "nested /24 not delivered to d2");
+  match Dataplane.trace dp ~src:1 (a_of "10.0.77.5") with
+  | Dataplane.Delivered [ 1; 0 ] -> ()
+  | _ -> Alcotest.fail "/16 remainder not delivered to d1"
+
+(* diamond m(0) -- {a(1), b(2)} -- d(3): two equal static routes at m. *)
+let test_static_ecmp () =
+  let g = Graph.of_links ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let p = p_of "10.0.0.0/24" in
+  let routers =
+    [|
+      {
+        (Device.default_router "m") with
+        Device.static_routes = [ (p, 1); (p, 2) ];
+      };
+      { (Device.default_router "a") with Device.static_routes = [ (p, 3) ] };
+      { (Device.default_router "b") with Device.static_routes = [ (p, 3) ] };
+      { (Device.default_router "d") with Device.originated = [ p ] };
+    |]
+  in
+  let dp = Dataplane.of_network ~protocol:`Multi { Device.graph = g; routers } in
+  Alcotest.(check (list int)) "both next hops" [ 1; 2 ]
+    (List.sort compare (Dataplane.lookup dp 0 (a_of "10.0.0.1")));
+  let paths = Dataplane.trace_all dp ~src:0 (a_of "10.0.0.1") in
+  Alcotest.(check int) "two ecmp paths" 2 (List.length paths);
+  List.iter
+    (function
+      | Dataplane.Delivered _ -> ()
+      | _ -> Alcotest.fail "ecmp path not delivered")
+    paths
+
+(* d(0) -- m(1) -- s(2), all-static; m's outbound ACL towards d denies
+   p1 (before a broad permit), permits p2, and matches nothing for p3
+   (implicit deny on a non-empty ACL). *)
+let acl_net ~with_acl () =
+  let g = Graph.of_links ~n:3 [ (0, 1); (1, 2) ] in
+  let p1 = p_of "10.0.0.0/24"
+  and p2 = p_of "10.0.1.0/24"
+  and p3 = p_of "172.16.0.0/24" in
+  let statics = [ (p1, 0); (p2, 0); (p3, 0) ] in
+  let acl_out =
+    if with_acl then
+      [
+        ( 0,
+          [
+            { Acl.permit = false; prefix = p1 };
+            { Acl.permit = true; prefix = p_of "10.0.0.0/8" };
+          ] );
+      ]
+    else []
+  in
+  let routers =
+    [|
+      { (Device.default_router "d") with Device.originated = [ p1; p2; p3 ] };
+      {
+        (Device.default_router "m") with
+        Device.static_routes = statics;
+        acl_out;
+      };
+      {
+        (Device.default_router "s") with
+        Device.static_routes = [ (p1, 1); (p2, 1); (p3, 1) ];
+      };
+    |]
+  in
+  { Device.graph = g; routers }
+
+let test_acl_first_match () =
+  let dp = Dataplane.of_network ~protocol:`Multi (acl_net ~with_acl:true ()) in
+  let entry p =
+    match
+      List.find_opt
+        (fun (e : Dataplane.entry) -> Prefix.equal e.Dataplane.e_prefix p)
+        (Dataplane.fib_entries dp 1)
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "m has no entry"
+  in
+  (* deny-then-permit: the deny clause wins even though the later permit
+     also covers p1 — an ACL-induced blackhole *)
+  let e1 = entry (p_of "10.0.0.0/24") in
+  Alcotest.(check (list int)) "p1 blackholed" [] e1.Dataplane.e_next_hops;
+  Alcotest.(check (list int)) "p1 drop recorded" [ 0 ]
+    e1.Dataplane.e_acl_dropped;
+  (* the permit clause passes p2 *)
+  let e2 = entry (p_of "10.0.1.0/24") in
+  Alcotest.(check (list int)) "p2 forwarded" [ 0 ] e2.Dataplane.e_next_hops;
+  (* no clause matches p3: implicit deny *)
+  let e3 = entry (p_of "172.16.0.0/24") in
+  Alcotest.(check (list int)) "p3 implicit deny" [] e3.Dataplane.e_next_hops;
+  (match Dataplane.trace dp ~src:2 (a_of "10.0.0.1") with
+  | Dataplane.Dropped [ 2; 1 ] -> ()
+  | _ -> Alcotest.fail "p1 should drop at m");
+  match Dataplane.trace dp ~src:2 (a_of "10.0.1.1") with
+  | Dataplane.Delivered [ 2; 1; 0 ] -> ()
+  | _ -> Alcotest.fail "p2 should deliver"
+
+(* ACL-free network: the fold must be invisible (Acl.permits None = true). *)
+let test_aclfree_untouched () =
+  let dp = Dataplane.of_network ~protocol:`Multi (acl_net ~with_acl:false ()) in
+  List.iter
+    (fun (e : Dataplane.entry) ->
+      Alcotest.(check (list int)) "nothing dropped" [] e.Dataplane.e_acl_dropped)
+    (Dataplane.fib_entries dp 1);
+  match Dataplane.trace dp ~src:2 (a_of "10.0.0.1") with
+  | Dataplane.Delivered [ 2; 1; 0 ] -> ()
+  | _ -> Alcotest.fail "p1 should deliver without the ACL"
+
+(* d(0) -- r1(1) -- r2(2): r2 points at r1, which has no route at all —
+   the walk must stop with a drop at r1, not an error. *)
+let test_dangling_next_hop () =
+  let g = Graph.of_links ~n:3 [ (0, 1); (1, 2) ] in
+  let p = p_of "10.0.0.0/24" in
+  let routers =
+    [|
+      { (Device.default_router "d") with Device.originated = [ p ] };
+      Device.default_router "r1";
+      { (Device.default_router "r2") with Device.static_routes = [ (p, 1) ] };
+    |]
+  in
+  let dp = Dataplane.of_network ~protocol:`Multi { Device.graph = g; routers } in
+  match Dataplane.trace dp ~src:2 (a_of "10.0.0.1") with
+  | Dataplane.Dropped [ 2; 1 ] -> ()
+  | _ -> Alcotest.fail "expected a drop at the dangling hop"
+
+(* --- Dp_diff ----------------------------------------------------------- *)
+
+let run_diff ?budget ?cache old_net new_net =
+  match
+    Dp_diff.run ?budget ?cache ~old_net ~new_net (Delta.diff old_net new_net)
+  with
+  | Ok rep -> rep
+  | Error e ->
+    Alcotest.fail (Format.asprintf "dp_diff failed: %a" Bonsai_error.pp e)
+
+let test_diff_identical () =
+  let net = Synthesis.ring_bgp ~n:6 in
+  let rep = run_diff net net in
+  Alcotest.(check bool) "unchanged" false (Dp_diff.changed rep);
+  Alcotest.(check int) "all reused" rep.Dp_diff.dp_classes
+    rep.Dp_diff.dp_reused;
+  Alcotest.(check int) "nothing recompiled" 0 rep.Dp_diff.dp_recompiled;
+  Alcotest.(check (list string)) "no unknown" []
+    (List.map Prefix.to_string rep.Dp_diff.dp_unknown)
+
+(* d(0) -- m(1) -- s(2) -- t(3): the ACL sits at s towards m, one hop
+   away from the destination, so the Acl_set delta's touched set {s, m}
+   leaves d alone and the untouched class (p2) can be proven clean. *)
+let diff_acl_net ~with_acl () =
+  let g = Graph.of_links ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let p1 = p_of "10.0.0.0/24"
+  and p2 = p_of "10.0.1.0/24"
+  and p3 = p_of "172.16.0.0/24" in
+  let statics nh = [ (p1, nh); (p2, nh); (p3, nh) ] in
+  let acl_out =
+    if with_acl then
+      [
+        ( 1,
+          [
+            { Acl.permit = false; prefix = p1 };
+            { Acl.permit = true; prefix = p_of "10.0.0.0/8" };
+          ] );
+      ]
+    else []
+  in
+  let routers =
+    [|
+      { (Device.default_router "d") with Device.originated = [ p1; p2; p3 ] };
+      { (Device.default_router "m") with Device.static_routes = statics 0 };
+      {
+        (Device.default_router "s") with
+        Device.static_routes = statics 1;
+        acl_out;
+      };
+      { (Device.default_router "t") with Device.static_routes = statics 2 };
+    |]
+  in
+  { Device.graph = g; routers }
+
+let test_diff_acl_change () =
+  let old_net = diff_acl_net ~with_acl:false () in
+  let new_net = diff_acl_net ~with_acl:true () in
+  let rep = run_diff old_net new_net in
+  Alcotest.(check bool) "changed" true (Dp_diff.changed rep);
+  let added, removed, modified = Dp_diff.counts rep in
+  Alcotest.(check (list int)) "modified only" [ 0; 0; 2 ]
+    [ added; removed; modified ];
+  (* p1 (deny clause) and p3 (implicit deny) blackhole at m; p2's class
+     is untouched by the ACL's signature and must be reused *)
+  let mods =
+    List.map
+      (fun (c : Dp_diff.change) -> Prefix.to_string c.Dp_diff.c_prefix)
+      rep.Dp_diff.dp_changes
+  in
+  Alcotest.(check (list string)) "blackholed prefixes"
+    [ "10.0.0.0/24"; "172.16.0.0/24" ]
+    (List.sort compare mods);
+  List.iter
+    (fun (c : Dp_diff.change) ->
+      Alcotest.(check int) "at s" 2 c.Dp_diff.c_router;
+      match (c.Dp_diff.c_old, c.Dp_diff.c_new) with
+      | Some o, Some n ->
+        Alcotest.(check (list int)) "was forwarding" [ 1 ]
+          o.Dataplane.e_next_hops;
+        Alcotest.(check (list int)) "now blackholed" [] n.Dataplane.e_next_hops;
+        Alcotest.(check (list int)) "drop recorded" [ 1 ]
+          n.Dataplane.e_acl_dropped
+      | _ -> Alcotest.fail "modified change must carry both entries")
+    rep.Dp_diff.dp_changes;
+  (* p2 passes the ACL on both sides: its per-class edge signatures are
+     equal across the delta, so the clean-class proof must fire *)
+  Alcotest.(check int) "p2 class reused" 1 rep.Dp_diff.dp_reused
+
+let test_diff_budget_unknown () =
+  let old_net = Synthesis.ring_bgp ~n:4 in
+  let new_net = Synthesis.ring_bgp ~n:6 in
+  let budget = Budget.create ~max_ticks:1 () in
+  let rep = run_diff ~budget old_net new_net in
+  Alcotest.(check bool) "unknown classes reported" true
+    (rep.Dp_diff.dp_unknown <> []);
+  Alcotest.(check bool) "degradation attached" true
+    (Option.is_some rep.Dp_diff.dp_degradation);
+  (* every class is accounted for: reused + recompiled + unknown *)
+  Alcotest.(check int) "no class silently dropped" rep.Dp_diff.dp_classes
+    (rep.Dp_diff.dp_reused + rep.Dp_diff.dp_recompiled
+    + List.length rep.Dp_diff.dp_unknown)
+
+(* --- Dp_bisim ---------------------------------------------------------- *)
+
+let bisim_verdict net =
+  let s = Bonsai_api.compress_exn net in
+  Dp_bisim.check net s.Bonsai_api.results
+
+let test_bisim_ring () =
+  match bisim_verdict (Synthesis.ring_bgp ~n:8) with
+  | Dp_bisim.Equivalent { classes; traces } ->
+    Alcotest.(check int) "all classes" 8 classes;
+    Alcotest.(check bool) "traced" true (traces > 0)
+  | _ -> Alcotest.fail "ring must bisimulate"
+
+let test_bisim_fattree () =
+  match bisim_verdict (Synthesis.fattree_shortest_path (Generators.fattree ~k:4)) with
+  | Dp_bisim.Equivalent { classes; _ } ->
+    Alcotest.(check int) "all classes" 8 classes
+  | _ -> Alcotest.fail "fattree must bisimulate"
+
+(* Corrupt a compression result — disconnect the abstract destination —
+   and demand a typed (router, prefix, path) witness. *)
+let test_bisim_refutes_corruption () =
+  let net = Synthesis.ring_bgp ~n:6 in
+  let s = Bonsai_api.compress_exn net in
+  let r =
+    match
+      List.find_opt
+        (fun (r : Bonsai_api.ec_result) ->
+          not (Abstraction.is_identity r.Bonsai_api.abstraction))
+        s.Bonsai_api.results
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "expected a non-identity abstraction"
+  in
+  let t = r.Bonsai_api.abstraction in
+  let ag = t.Abstraction.abs_graph in
+  let cut =
+    Graph.of_links ~n:(Graph.n_nodes ag)
+      (List.filter
+         (fun (u, v) ->
+           u <> t.Abstraction.abs_dest && v <> t.Abstraction.abs_dest)
+         (Graph.edges ag))
+  in
+  let corrupted =
+    { r with Bonsai_api.abstraction = { t with Abstraction.abs_graph = cut } }
+  in
+  match Dp_bisim.check net [ corrupted ] with
+  | Dp_bisim.Refuted rf ->
+    Alcotest.(check bool) "witness names the class" true
+      (Prefix.equal rf.Dp_bisim.rf_prefix r.Bonsai_api.ec.Ecs.ec_prefix);
+    (match rf.Dp_bisim.rf_concrete with
+    | Dataplane.Delivered (hd :: _) ->
+      Alcotest.(check int) "concrete witness starts at the router" hd
+        rf.Dp_bisim.rf_router
+    | _ -> Alcotest.fail "concrete witness should deliver");
+    (* the refutation renders with router names *)
+    let msg = Dp_bisim.refutation_string net t rf in
+    Alcotest.(check bool) "witness mentions the prefix" true
+      (let p = Prefix.to_string rf.Dp_bisim.rf_prefix in
+       let rec contains i =
+         i + String.length p <= String.length msg
+         && (String.sub msg i (String.length p) = p || contains (i + 1))
+       in
+       contains 0)
+  | Dp_bisim.Equivalent _ -> Alcotest.fail "corruption not detected"
+  | Dp_bisim.Incomplete _ -> Alcotest.fail "check did not finish"
+
+let test_bisim_budget_incomplete () =
+  let net = Synthesis.ring_bgp ~n:6 in
+  let s = Bonsai_api.compress_exn net in
+  let budget = Budget.create ~max_ticks:1 () in
+  match Dp_bisim.check ~budget net s.Bonsai_api.results with
+  | Dp_bisim.Incomplete { unknown; _ } ->
+    Alcotest.(check bool) "unchecked classes reported" true (unknown <> [])
+  | Dp_bisim.Equivalent _ -> Alcotest.fail "1-tick budget cannot finish"
+  | Dp_bisim.Refuted _ -> Alcotest.fail "nothing to refute"
+
+(* --- fuzz: compression results bisimulate at the data plane ------------ *)
+
+let prop_bisim mk_net name =
+  QCheck.Test.make ~count:fuzz_count ~name
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let net = mk_net seed in
+      match bisim_verdict net with
+      | Dp_bisim.Equivalent _ -> true
+      | Dp_bisim.Refuted rf ->
+        QCheck.Test.fail_reportf "refuted: router %d, prefix %s"
+          rf.Dp_bisim.rf_router
+          (Prefix.to_string rf.Dp_bisim.rf_prefix)
+      | Dp_bisim.Incomplete _ ->
+        QCheck.Test.fail_reportf "incomplete without a budget")
+
+let prop_bisim_ring =
+  prop_bisim
+    (fun seed -> Synthesis.ring_bgp ~n:(4 + (seed mod 5)))
+    "concrete ≡ abstract data plane (ring)"
+
+let prop_bisim_fattree =
+  prop_bisim
+    (fun _ -> Synthesis.fattree_shortest_path (Generators.fattree ~k:4))
+    "concrete ≡ abstract data plane (fattree)"
+
+let prop_bisim_multi =
+  prop_bisim
+    (fun seed -> Synthesis.random_multi_network ~n:8 ~seed)
+    "concrete ≡ abstract data plane (random multi-protocol)"
+
+(* fuzz: a corrupted abstraction is refuted on random rings *)
+let prop_corruption_refuted =
+  QCheck.Test.make ~count:fuzz_count ~name:"corrupted abstraction refuted"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let net = Synthesis.ring_bgp ~n:(5 + (seed mod 4)) in
+      let s = Bonsai_api.compress_exn net in
+      match
+        List.find_opt
+          (fun (r : Bonsai_api.ec_result) ->
+            not (Abstraction.is_identity r.Bonsai_api.abstraction))
+          s.Bonsai_api.results
+      with
+      | None -> QCheck.assume_fail ()
+      | Some r -> (
+        let t = r.Bonsai_api.abstraction in
+        let cut =
+          Graph.of_links
+            ~n:(Graph.n_nodes t.Abstraction.abs_graph)
+            (List.filter
+               (fun (u, v) ->
+                 u <> t.Abstraction.abs_dest && v <> t.Abstraction.abs_dest)
+               (Graph.edges t.Abstraction.abs_graph))
+        in
+        let corrupted =
+          {
+            r with
+            Bonsai_api.abstraction = { t with Abstraction.abs_graph = cut };
+          }
+        in
+        match Dp_bisim.check net [ corrupted ] with
+        | Dp_bisim.Refuted _ -> true
+        | _ -> false))
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "dataplane"
+    [
+      ( "fib",
+        [
+          Alcotest.test_case "lpm overlap" `Quick test_lpm_overlap;
+          Alcotest.test_case "static ecmp" `Quick test_static_ecmp;
+          Alcotest.test_case "acl first-match" `Quick test_acl_first_match;
+          Alcotest.test_case "acl-free untouched" `Quick
+            test_aclfree_untouched;
+          Alcotest.test_case "dangling next hop" `Quick
+            test_dangling_next_hop;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical" `Quick test_diff_identical;
+          Alcotest.test_case "acl change" `Quick test_diff_acl_change;
+          Alcotest.test_case "budget unknown" `Quick
+            test_diff_budget_unknown;
+        ] );
+      ( "bisim",
+        [
+          Alcotest.test_case "ring" `Quick test_bisim_ring;
+          Alcotest.test_case "fattree" `Quick test_bisim_fattree;
+          Alcotest.test_case "refutes corruption" `Quick
+            test_bisim_refutes_corruption;
+          Alcotest.test_case "budget incomplete" `Quick
+            test_bisim_budget_incomplete;
+        ] );
+      qsuite "fuzz"
+        [
+          prop_bisim_ring;
+          prop_bisim_fattree;
+          prop_bisim_multi;
+          prop_corruption_refuted;
+        ];
+    ]
